@@ -1,0 +1,122 @@
+// Shared setup for the experiment benchmarks (R1..R14).
+//
+// Each bench binary regenerates one table/figure of the reconstructed study
+// (see DESIGN.md §2). Sizes are tuned so the full suite runs in minutes on a
+// laptop while preserving the qualitative shapes the study reports.
+
+#ifndef LCE_BENCH_BENCH_COMMON_H_
+#define LCE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/factory.h"
+#include "src/eval/metrics.h"
+#include "src/exec/executor.h"
+#include "src/storage/datagen.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace bench {
+
+/// A database with labeled train/test workloads, ready for estimators.
+struct BenchDb {
+  std::string name;
+  storage::datagen::DatabaseGenSpec spec;
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<exec::Executor> executor;
+  std::vector<query::LabeledQuery> train;
+  std::vector<query::LabeledQuery> test;
+};
+
+struct BenchConfig {
+  double scale = 0.12;       // row-count multiplier for multi-table schemas
+  double dmv_scale = 0.3;    // single-table schema is cheap
+  int train_queries = 1500;
+  int test_queries = 300;
+  int max_joins = 3;
+  uint64_t seed = 7;
+};
+
+inline BenchDb MakeBenchDb(const storage::datagen::DatabaseGenSpec& spec,
+                           const BenchConfig& cfg) {
+  BenchDb out;
+  out.name = spec.name;
+  out.spec = spec;
+  out.db = storage::datagen::Generate(spec, cfg.seed);
+  out.executor = std::make_unique<exec::Executor>(out.db.get());
+  workload::WorkloadOptions wopts;
+  wopts.max_joins = out.db->num_tables() > 1 ? cfg.max_joins : 0;
+  workload::WorkloadGenerator gen(out.db.get(), wopts);
+  Rng rng(cfg.seed * 977 + 13);
+  out.train = gen.GenerateLabeled(cfg.train_queries, &rng);
+  out.test = gen.GenerateLabeled(cfg.test_queries, &rng);
+  return out;
+}
+
+/// The four study databases at bench scale.
+inline std::vector<BenchDb> MakeStudyDbs(const BenchConfig& cfg) {
+  std::vector<BenchDb> dbs;
+  dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::TpchLikeSpec(cfg.scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::StatsLikeSpec(cfg.scale), cfg));
+  return dbs;
+}
+
+/// Neural settings shared by the benches: sized for minutes-long runs.
+inline ce::NeuralOptions BenchNeuralOptions() {
+  ce::NeuralOptions o;
+  o.hidden_dim = 48;
+  o.epochs = 20;
+  return o;
+}
+
+/// Builds (timing it) and evaluates one estimator.
+struct EstimatorRun {
+  std::string name;
+  double build_seconds = 0;
+  double infer_micros = 0;
+  uint64_t size_bytes = 0;
+  eval::AccuracyReport accuracy;
+  bool ok = false;
+};
+
+inline EstimatorRun RunEstimator(const std::string& name, const BenchDb& bench,
+                                 const ce::NeuralOptions& neural,
+                                 uint64_t seed = 42) {
+  EstimatorRun run;
+  run.name = name;
+  auto est = ce::MakeEstimator(name, neural, seed);
+  Timer timer;
+  Status s = est->Build(*bench.db, bench.train);
+  run.build_seconds = timer.ElapsedSeconds();
+  if (!s.ok()) {
+    std::fprintf(stderr, "[bench] build of %s on %s failed: %s\n",
+                 name.c_str(), bench.name.c_str(), s.ToString().c_str());
+    return run;
+  }
+  run.accuracy = eval::EvaluateAccuracy(est.get(), bench.test);
+  run.infer_micros = eval::MeanEstimateLatencyMicros(est.get(), bench.test);
+  run.size_bytes = est->SizeBytes();
+  run.ok = true;
+  return run;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& what,
+                        const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("expected shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace lce
+
+#endif  // LCE_BENCH_BENCH_COMMON_H_

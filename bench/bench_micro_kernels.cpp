@@ -1,0 +1,116 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels underneath the
+// estimators: matrix multiply, exact executor counting, filter scans, hash
+// index probes, and per-model inference.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ce/factory.h"
+#include "src/exec/executor.h"
+#include "src/exec/hash_index.h"
+#include "src/nn/matrix.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace lce;
+
+void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  nn::Matrix b = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<exec::Executor> executor;
+  std::vector<query::LabeledQuery> queries;
+
+  static Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      fx->db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.1),
+                                          1);
+      fx->executor = std::make_unique<exec::Executor>(fx->db.get());
+      workload::WorkloadOptions opts;
+      opts.max_joins = 3;
+      workload::WorkloadGenerator gen(fx->db.get(), opts);
+      Rng rng(2);
+      fx->queries = gen.GenerateLabeled(50, &rng);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_FilterScan(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  const query::Query& q = fx.queries[0].q;
+  int table = q.tables[0];
+  for (auto _ : state) {
+    auto bitmap = exec::FilterBitmap(*fx.db, q, table);
+    benchmark::DoNotOptimize(bitmap.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.db->table(table).num_rows()));
+}
+BENCHMARK(BM_FilterScan);
+
+void BM_ExactJoinCount(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    const query::Query& q = fx.queries[i++ % fx.queries.size()].q;
+    benchmark::DoNotOptimize(fx.executor->Cardinality(q));
+  }
+}
+BENCHMARK(BM_ExactJoinCount);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  Fixture& fx = Fixture::Get();
+  exec::HashIndex index;
+  const storage::Table& mc = *fx.db->FindTable("movie_companies").value();
+  index.Build(mc, 0);
+  Rng rng(3);
+  int64_t max_key =
+      static_cast<int64_t>(fx.db->FindTable("title").value()->num_rows()) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(rng.UniformInt(0, max_key)));
+  }
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_EstimatorInference(benchmark::State& state,
+                           const std::string& name) {
+  Fixture& fx = Fixture::Get();
+  static std::map<std::string, std::unique_ptr<ce::Estimator>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    ce::NeuralOptions neural;
+    neural.epochs = 8;
+    auto est = ce::MakeEstimator(name, neural);
+    LCE_CHECK_OK(est->Build(*fx.db, fx.queries));
+    it = cache.emplace(name, std::move(est)).first;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const query::Query& q = fx.queries[i++ % fx.queries.size()].q;
+    benchmark::DoNotOptimize(it->second->EstimateCardinality(q));
+  }
+}
+BENCHMARK_CAPTURE(BM_EstimatorInference, histogram, std::string("Histogram"));
+BENCHMARK_CAPTURE(BM_EstimatorInference, fcn, std::string("FCN"));
+BENCHMARK_CAPTURE(BM_EstimatorInference, mscn, std::string("MSCN"));
+BENCHMARK_CAPTURE(BM_EstimatorInference, lwxgb, std::string("LW-XGB"));
+BENCHMARK_CAPTURE(BM_EstimatorInference, spn, std::string("DeepDB-SPN"));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// R12 — Encoding ablation for the flat-encoding family (FCN, LW-XGB):
+// full structural encoding vs range-only vs coarsely quantized ranges.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R12", "encoding ablation: full vs range-only vs coarse",
+              "dropping table/join one-hots hurts on multi-table schemas "
+              "(structure becomes invisible); quantizing ranges hurts "
+              "selective predicates everywhere");
+
+  BenchConfig cfg;
+  std::vector<BenchDb> dbs;
+  dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
+
+  struct Variant {
+    query::FlatVariant variant;
+    const char* label;
+  };
+  const std::vector<Variant> variants = {
+      {query::FlatVariant::kFull, "full"},
+      {query::FlatVariant::kRangeOnly, "range-only"},
+      {query::FlatVariant::kCoarse, "coarse(10 bins)"},
+  };
+
+  for (BenchDb& bench : dbs) {
+    std::printf("\n-- database: %s --\n", bench.name.c_str());
+    TablePrinter table({"estimator", "encoding", "geo-mean", "p95", "max"});
+    for (const std::string& name :
+         {std::string("FCN"), std::string("LW-XGB")}) {
+      for (const Variant& v : variants) {
+        ce::NeuralOptions neural = BenchNeuralOptions();
+        neural.flat_variant = v.variant;
+        EstimatorRun run = RunEstimator(name, bench, neural);
+        if (!run.ok) continue;
+        const SampleSummary& s = run.accuracy.summary;
+        table.AddRow({name, v.label, TablePrinter::Num(s.geo_mean),
+                      TablePrinter::Num(s.p95), TablePrinter::Num(s.max)});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

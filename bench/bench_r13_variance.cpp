@@ -1,0 +1,40 @@
+// R13 — Training variance across random seeds (stability of learned models).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R13", "q-error variance across 8 training seeds (DMV-like)",
+              "neural models show non-trivial seed variance; the "
+              "deterministic tree ensemble has none; the under-capacity "
+              "Linear model swings the most between seeds");
+
+  BenchConfig cfg;
+  cfg.train_queries = 1200;
+  BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
+                              cfg);
+  ce::NeuralOptions neural = BenchNeuralOptions();
+  neural.epochs = 15;
+
+  const std::vector<std::string> models = {"Linear", "FCN", "MSCN", "LSTM",
+                                           "LW-XGB"};
+  TablePrinter table({"estimator", "mean geo-q", "stddev", "min", "max",
+                      "rel spread"});
+  for (const std::string& name : models) {
+    std::vector<double> geo_means;
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      EstimatorRun run = RunEstimator(name, bench, neural, seed);
+      if (run.ok) geo_means.push_back(run.accuracy.summary.geo_mean);
+    }
+    if (geo_means.empty()) continue;
+    SampleSummary s = Summarize(geo_means);
+    table.AddRow({name, TablePrinter::Num(s.mean),
+                  TablePrinter::Num(StdDev(geo_means)),
+                  TablePrinter::Num(s.min), TablePrinter::Num(s.max),
+                  TablePrinter::Fixed((s.max - s.min) / s.mean, 2)});
+  }
+  table.Print();
+  return 0;
+}

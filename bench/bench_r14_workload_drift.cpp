@@ -1,0 +1,93 @@
+// R14 — Workload drift: accuracy as the test-query distribution diverges
+// from the training distribution, with the divergence quantified by the
+// Jensen–Shannon divergence of predicate-center histograms.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+// Histogram of normalized predicate centers, pooled over all predicates of a
+// workload (20 bins). The JSD of two such histograms quantifies drift.
+std::vector<double> CenterHistogram(
+    const std::vector<lce::query::LabeledQuery>& workload,
+    const lce::storage::Database& db) {
+  std::vector<double> hist(20, 1e-9);
+  for (const auto& lq : workload) {
+    for (const auto& p : lq.q.predicates) {
+      const auto& stats = db.table(p.col.table).stats(p.col.column);
+      double span = static_cast<double>(stats.max - stats.min) + 1.0;
+      double center =
+          (static_cast<double>(p.lo + p.hi) / 2.0 - stats.min) / span;
+      int bin = std::clamp(static_cast<int>(center * 20), 0, 19);
+      hist[bin] += 1.0;
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R14", "accuracy under workload drift (JSD-quantified)",
+              "q-error of query-driven models grows with the divergence "
+              "between training and test query distributions; "
+              "data-independent statistics are unaffected");
+
+  BenchConfig cfg;
+  BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
+                              cfg);
+  ce::NeuralOptions neural = BenchNeuralOptions();
+
+  // Train on centers from rows [0, 0.5); test workloads slide away.
+  workload::WorkloadOptions train_opts;
+  train_opts.max_joins = 0;
+  train_opts.center_lo = 0.0;
+  train_opts.center_hi = 0.5;
+  workload::WorkloadGenerator train_gen(bench.db.get(), train_opts);
+  Rng rng(55);
+  auto train = train_gen.GenerateLabeled(1500, &rng);
+  auto train_hist = CenterHistogram(train, *bench.db);
+
+  struct DriftLevel {
+    const char* label;
+    double lo, hi;
+  };
+  const std::vector<DriftLevel> levels = {{"none (same region)", 0.0, 0.5},
+                                          {"mild", 0.25, 0.75},
+                                          {"strong", 0.5, 1.0},
+                                          {"extreme", 0.8, 1.0}};
+
+  const std::vector<std::string> models = {"Histogram", "FCN", "MSCN",
+                                           "LW-XGB"};
+  std::vector<std::unique_ptr<ce::Estimator>> built;
+  for (const std::string& name : models) {
+    auto est = ce::MakeEstimator(name, neural);
+    LCE_CHECK_OK(est->Build(*bench.db, train));
+    built.push_back(std::move(est));
+  }
+
+  TablePrinter table({"drift level", "JSD(train,test)", "Histogram", "FCN",
+                      "MSCN", "LW-XGB"});
+  for (const DriftLevel& level : levels) {
+    workload::WorkloadOptions test_opts = train_opts;
+    test_opts.center_lo = level.lo;
+    test_opts.center_hi = level.hi;
+    workload::WorkloadGenerator test_gen(bench.db.get(), test_opts);
+    auto test = test_gen.GenerateLabeled(200, &rng);
+    double jsd =
+        JensenShannonDivergence(train_hist, CenterHistogram(test, *bench.db));
+    std::vector<std::string> row = {level.label, TablePrinter::Fixed(jsd, 4)};
+    for (auto& est : built) {
+      row.push_back(TablePrinter::Num(
+          eval::EvaluateAccuracy(est.get(), test).summary.geo_mean));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

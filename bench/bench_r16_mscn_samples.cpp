@@ -1,0 +1,46 @@
+// R16 (ablation) — MSCN's materialized-sample bitmaps: accuracy vs bitmap
+// width (0 disables bitmaps, reducing MSCN to FCN+Pool).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R16", "MSCN sample-bitmap width ablation",
+              "bitmaps carry per-table selectivity evidence: accuracy "
+              "improves with width and saturates; width 0 (= FCN+Pool) is "
+              "clearly worse on selective predicates");
+
+  BenchConfig cfg;
+  std::vector<BenchDb> dbs;
+  dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
+
+  const std::vector<int> widths = {0, 16, 64, 256};
+  for (BenchDb& bench : dbs) {
+    std::printf("\n-- database: %s --\n", bench.name.c_str());
+    TablePrinter table({"bitmap width", "geo-mean", "p50", "p95", "max",
+                        "build_s"});
+    for (int width : widths) {
+      ce::NeuralOptions neural = BenchNeuralOptions();
+      EstimatorRun run;
+      if (width == 0) {
+        run = RunEstimator("FCN+Pool", bench, neural);
+        run.name = "0 (FCN+Pool)";
+      } else {
+        neural.mscn_sample_size = width;
+        run = RunEstimator("MSCN", bench, neural);
+        run.name = std::to_string(width);
+      }
+      if (!run.ok) continue;
+      const SampleSummary& s = run.accuracy.summary;
+      table.AddRow({run.name, TablePrinter::Num(s.geo_mean),
+                    TablePrinter::Num(s.p50), TablePrinter::Num(s.p95),
+                    TablePrinter::Num(s.max),
+                    TablePrinter::Fixed(run.build_seconds, 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// R17 — Executed end-to-end: plans chosen under each estimator's
+// cardinalities are PHYSICALLY EXECUTED (hash joins over the stored data),
+// and the work each plan performs (tuple operations) is reported. This is
+// the "real execution" counterpart of R9's noise-free cost replay.
+
+#include "bench/bench_common.h"
+#include "src/exec/plan_executor.h"
+#include "src/optimizer/planner.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R17", "executed plans: tuple work per estimator's plans",
+              "plans from better estimators perform less physical work; all "
+              "plans return identical (correct) counts; hostile estimates "
+              "can blow the intermediate-size budget");
+
+  BenchConfig cfg;
+  ce::NeuralOptions neural = BenchNeuralOptions();
+  const std::vector<std::string> models = {"Histogram", "Sampling",
+                                           "WanderJoin", "Linear", "FCN",
+                                           "MSCN", "LW-XGB"};
+
+  std::vector<BenchDb> dbs;
+  dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::StatsLikeSpec(cfg.scale), cfg));
+
+  for (BenchDb& bench : dbs) {
+    opt::Planner planner(bench.db.get(), opt::CostModel{});
+    exec::PlanExecutor physical(bench.db.get());
+
+    // Query set: multi-join queries whose OPTIMAL plan fits the execution
+    // budget (unboundedly large true results are uninteresting for plan
+    // comparison — every plan materializes the same giant output).
+    workload::WorkloadOptions opts;
+    opts.max_joins = 3;
+    workload::WorkloadGenerator gen(bench.db.get(), opts);
+    Rng rng(31);
+    std::vector<query::LabeledQuery> queries;
+    int attempts = 0;
+    while (queries.size() < 15 && attempts < 30) {
+      ++attempts;
+      auto batch = gen.GenerateLabeled(10, &rng);
+      for (auto& lq : batch) {
+        if (lq.q.tables.size() < 3 || queries.size() >= 15) continue;
+        opt::CardFn true_cards = [&](const std::vector<int>& tables) {
+          return bench.executor->SubsetCardinality(lq.q, tables);
+        };
+        if (physical.Execute(lq.q, planner.BestPlan(lq.q, true_cards)).ok()) {
+          queries.push_back(std::move(lq));
+        }
+      }
+    }
+
+    std::printf("\n-- database: %s (15 multi-join queries, physically "
+                "executed) --\n",
+                bench.name.c_str());
+    TablePrinter table({"estimator", "total tuple work", "vs oracle",
+                        "peak intermediate", "aborted"});
+
+    // Oracle row.
+    uint64_t oracle_work = 0, oracle_peak = 0;
+    for (const auto& lq : queries) {
+      opt::CardFn true_cards = [&](const std::vector<int>& tables) {
+        return bench.executor->SubsetCardinality(lq.q, tables);
+      };
+      auto stats =
+          physical.Execute(lq.q, planner.BestPlan(lq.q, true_cards));
+      LCE_CHECK(stats.ok());
+      LCE_CHECK(stats.value().result == lq.cardinality);
+      oracle_work += stats.value().TotalWork();
+      oracle_peak = std::max(oracle_peak, stats.value().peak_intermediate);
+    }
+    table.AddRow({"Clean (oracle)", TablePrinter::Num(
+                      static_cast<double>(oracle_work)),
+                  "1.00",
+                  TablePrinter::Num(static_cast<double>(oracle_peak)), "0"});
+
+    for (const std::string& name : models) {
+      auto est = ce::MakeEstimator(name, neural);
+      if (!est->Build(*bench.db, bench.train).ok()) continue;
+      uint64_t work = 0, peak = 0;
+      int aborted = 0;
+      for (const auto& lq : queries) {
+        opt::CardFn est_cards = [&](const std::vector<int>& tables) {
+          return est->EstimateCardinality(
+              query::Restrict(lq.q, tables, bench.db->schema()));
+        };
+        opt::Plan plan = planner.BestPlan(lq.q, est_cards);
+        auto stats = physical.Execute(lq.q, plan);
+        if (!stats.ok()) {
+          ++aborted;
+          continue;
+        }
+        LCE_CHECK_MSG(stats.value().result == lq.cardinality,
+                      "plan produced a wrong count");
+        work += stats.value().TotalWork();
+        peak = std::max(peak, stats.value().peak_intermediate);
+      }
+      table.AddRow({name, TablePrinter::Num(static_cast<double>(work)),
+                    TablePrinter::Fixed(static_cast<double>(work) /
+                                            static_cast<double>(oracle_work),
+                                        2),
+                    TablePrinter::Num(static_cast<double>(peak)),
+                    std::to_string(aborted)});
+    }
+    table.Print();
+  }
+  return 0;
+}

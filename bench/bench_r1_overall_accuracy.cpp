@@ -1,0 +1,34 @@
+// R1 — Overall accuracy: q-error percentiles of the full estimator zoo on
+// the four study databases (the study's headline accuracy table).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R1", "overall q-error of all estimators on 4 databases",
+              "learned models beat Histogram/Sampling on correlated data; "
+              "MSCN strongest among query-driven on joins; Linear weakest "
+              "learned model");
+
+  BenchConfig cfg;
+  ce::NeuralOptions neural = BenchNeuralOptions();
+  for (BenchDb& bench : MakeStudyDbs(cfg)) {
+    std::printf("\n-- database: %s (%d tables) --\n", bench.name.c_str(),
+                bench.db->num_tables());
+    TablePrinter table({"estimator", "geo-mean", "p50", "p90", "p95", "p99",
+                        "max"});
+    for (const std::string& name : ce::AllEstimatorNames()) {
+      EstimatorRun run = RunEstimator(name, bench, neural);
+      if (!run.ok) continue;
+      const SampleSummary& s = run.accuracy.summary;
+      table.AddRow({name, TablePrinter::Num(s.geo_mean),
+                    TablePrinter::Num(s.p50), TablePrinter::Num(s.p90),
+                    TablePrinter::Num(s.p95), TablePrinter::Num(s.p99),
+                    TablePrinter::Num(s.max)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// R3 — Accuracy vs number of joins: train on a mixed workload, evaluate on
+// query sets with exactly k join edges (k = 0..4), IMDb-like schema.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R3", "q-error vs join count (IMDb-like, k = 0..4 joins)",
+              "every estimator degrades as joins grow; set-based models "
+              "(MSCN) degrade least among query-driven; per-table models "
+              "with the distinct-count formula degrade most");
+
+  BenchConfig cfg;
+  cfg.max_joins = 4;
+  cfg.train_queries = 2000;
+  BenchDb bench = MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg);
+  ce::NeuralOptions neural = BenchNeuralOptions();
+
+  // Per-k test sets via template whitelists.
+  workload::WorkloadOptions base;
+  base.max_joins = 4;
+  std::vector<std::vector<query::LabeledQuery>> per_k(5);
+  {
+    workload::WorkloadGenerator all_gen(bench.db.get(), base);
+    auto templates = all_gen.EnumerateTemplates();
+    Rng rng(99);
+    for (int k = 0; k <= 4; ++k) {
+      workload::WorkloadOptions opts = base;
+      opts.template_whitelist.clear();
+      for (const auto& tmpl : templates) {
+        if (static_cast<int>(tmpl.size()) == k + 1) {
+          opts.template_whitelist.push_back(tmpl);
+        }
+      }
+      if (opts.template_whitelist.empty()) continue;
+      workload::WorkloadGenerator k_gen(bench.db.get(), opts);
+      per_k[k] = k_gen.GenerateLabeled(120, &rng);
+    }
+  }
+
+  const std::vector<std::string> models = {"Histogram", "Sampling", "FCN",
+                                           "MSCN",      "LSTM",     "LW-XGB"};
+  TablePrinter table({"estimator", "k=0", "k=1", "k=2", "k=3", "k=4"});
+  for (const std::string& name : models) {
+    auto est = ce::MakeEstimator(name, neural);
+    if (!est->Build(*bench.db, bench.train).ok()) continue;
+    std::vector<std::string> row = {name};
+    for (int k = 0; k <= 4; ++k) {
+      if (per_k[k].empty()) {
+        row.push_back("-");
+        continue;
+      }
+      auto report = eval::EvaluateAccuracy(est.get(), per_k[k]);
+      row.push_back(TablePrinter::Num(report.summary.geo_mean));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

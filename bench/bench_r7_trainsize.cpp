@@ -1,0 +1,42 @@
+// R7 — Accuracy vs training-set size for the query-driven models.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R7", "q-error vs number of training queries (DMV-like)",
+              "accuracy improves steeply up to ~1-2k queries then plateaus; "
+              "tree ensembles need fewer queries than deep models");
+
+  BenchConfig cfg;
+  cfg.train_queries = 4000;  // superset; prefixes form the sweep
+  cfg.test_queries = 250;
+  BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
+                              cfg);
+  ce::NeuralOptions neural = BenchNeuralOptions();
+
+  const std::vector<int> sizes = {250, 500, 1000, 2000, 4000};
+  const std::vector<std::string> models = {"Linear", "FCN", "MSCN", "LSTM",
+                                           "LW-XGB"};
+  TablePrinter table({"estimator", "n=250", "n=500", "n=1000", "n=2000",
+                      "n=4000"});
+  for (const std::string& name : models) {
+    std::vector<std::string> row = {name};
+    for (int n : sizes) {
+      std::vector<query::LabeledQuery> subset(bench.train.begin(),
+                                              bench.train.begin() + n);
+      auto est = ce::MakeEstimator(name, neural);
+      if (!est->Build(*bench.db, subset).ok()) {
+        row.push_back("-");
+        continue;
+      }
+      auto report = eval::EvaluateAccuracy(est.get(), bench.test);
+      row.push_back(TablePrinter::Num(report.summary.geo_mean));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// R8 — Generalization: seen vs unseen join templates, and in-distribution vs
+// out-of-range predicates (IMDb-like schema).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R8", "seen vs unseen join templates; in- vs out-of-range "
+                    "predicates",
+              "query-driven models lose accuracy on join templates absent "
+              "from training and on predicate value regions never queried; "
+              "the histogram's change comes only from query difficulty, not "
+              "from the train/test split");
+
+  BenchConfig cfg;
+  cfg.max_joins = 3;
+  BenchDb bench = MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg);
+  ce::NeuralOptions neural = BenchNeuralOptions();
+
+  // Template split: hold out every 3-join template; train on the rest.
+  workload::WorkloadOptions all;
+  all.max_joins = 3;
+  workload::WorkloadGenerator enumerator(bench.db.get(), all);
+  std::vector<std::vector<int>> seen_templates, unseen_templates;
+  for (const auto& tmpl : enumerator.EnumerateTemplates()) {
+    (tmpl.size() == 4 ? unseen_templates : seen_templates).push_back(tmpl);
+  }
+
+  Rng rng(123);
+  workload::WorkloadOptions seen_opts = all;
+  seen_opts.template_whitelist = seen_templates;
+  workload::WorkloadGenerator seen_gen(bench.db.get(), seen_opts);
+  auto train = seen_gen.GenerateLabeled(2000, &rng);
+  auto test_seen = seen_gen.GenerateLabeled(150, &rng);
+
+  workload::WorkloadOptions unseen_opts = all;
+  unseen_opts.template_whitelist = unseen_templates;
+  workload::WorkloadGenerator unseen_gen(bench.db.get(), unseen_opts);
+  auto test_unseen = unseen_gen.GenerateLabeled(150, &rng);
+
+  // Predicate-region split: train centers from the first 60% of rows, OOD
+  // test centers from the last 20%.
+  workload::WorkloadOptions in_region = all;
+  in_region.template_whitelist = seen_templates;
+  in_region.center_lo = 0.0;
+  in_region.center_hi = 0.6;
+  workload::WorkloadGenerator in_gen(bench.db.get(), in_region);
+  auto train_region = in_gen.GenerateLabeled(2000, &rng);
+  auto test_in = in_gen.GenerateLabeled(150, &rng);
+  workload::WorkloadOptions out_region = in_region;
+  out_region.center_lo = 0.8;
+  out_region.center_hi = 1.0;
+  workload::WorkloadGenerator out_gen(bench.db.get(), out_region);
+  auto test_out = out_gen.GenerateLabeled(150, &rng);
+
+  const std::vector<std::string> models = {"Histogram", "FCN", "MSCN", "LSTM",
+                                           "LW-XGB"};
+  TablePrinter table({"estimator", "seen tmpl", "UNSEEN tmpl", "in-range",
+                      "OUT-of-range"});
+  for (const std::string& name : models) {
+    std::vector<std::string> row = {name};
+    {
+      auto est = ce::MakeEstimator(name, neural);
+      if (est->Build(*bench.db, train).ok()) {
+        row.push_back(TablePrinter::Num(
+            eval::EvaluateAccuracy(est.get(), test_seen).summary.geo_mean));
+        row.push_back(TablePrinter::Num(
+            eval::EvaluateAccuracy(est.get(), test_unseen).summary.geo_mean));
+      } else {
+        row.insert(row.end(), {"-", "-"});
+      }
+    }
+    {
+      auto est = ce::MakeEstimator(name, neural);
+      if (est->Build(*bench.db, train_region).ok()) {
+        row.push_back(TablePrinter::Num(
+            eval::EvaluateAccuracy(est.get(), test_in).summary.geo_mean));
+        row.push_back(TablePrinter::Num(
+            eval::EvaluateAccuracy(est.get(), test_out).summary.geo_mean));
+      } else {
+        row.insert(row.end(), {"-", "-"});
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

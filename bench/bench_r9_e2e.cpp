@@ -1,0 +1,78 @@
+// R9 — End-to-end plan quality: estimate-driven plans replayed under true
+// cardinalities versus the true-cardinality-optimal plans (P-error), on the
+// three multi-table databases — the study's "does q-error translate into
+// worse plans?" experiment.
+
+#include "bench/bench_common.h"
+#include "src/eval/e2e.h"
+#include "src/optimizer/planner.h"
+
+int main() {
+  using namespace lce;
+  using namespace lce::bench;
+
+  PrintHeader("R9", "end-to-end plan quality (simulated latency & P-error)",
+              "bad estimates inflate true plan cost sub-linearly in q-error; "
+              "estimators with better tail q-errors pick better join orders; "
+              "the oracle lower bound is the Clean row");
+
+  BenchConfig cfg;
+  cfg.train_queries = 1500;
+  ce::NeuralOptions neural = BenchNeuralOptions();
+  const std::vector<std::string> models = {"Histogram", "Sampling", "Linear",
+                                           "FCN",       "MSCN",     "LW-XGB",
+                                           "DeepDB-SPN"};
+
+  std::vector<BenchDb> dbs;
+  dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::TpchLikeSpec(cfg.scale), cfg));
+  dbs.push_back(MakeBenchDb(storage::datagen::StatsLikeSpec(cfg.scale), cfg));
+
+  for (BenchDb& bench : dbs) {
+    // 20 multi-join queries, as in the study's E2E workload.
+    workload::WorkloadOptions opts;
+    opts.max_joins = 3;
+    workload::WorkloadGenerator gen(bench.db.get(), opts);
+    Rng rng(17);
+    std::vector<query::LabeledQuery> e2e;
+    while (e2e.size() < 20) {
+      auto batch = gen.GenerateLabeled(10, &rng);
+      for (auto& lq : batch) {
+        if (lq.q.tables.size() >= 3 && e2e.size() < 20) {
+          e2e.push_back(std::move(lq));
+        }
+      }
+    }
+
+    opt::Planner planner(bench.db.get(), opt::CostModel{});
+    std::printf("\n-- database: %s (20 multi-join queries) --\n",
+                bench.name.c_str());
+    TablePrinter table({"estimator", "total true cost", "vs optimal",
+                        "mean P-err", "max P-err"});
+    // Oracle lower bound.
+    double optimal_total = 0;
+    for (const auto& lq : e2e) {
+      opt::CardFn true_cards = [&](const std::vector<int>& tables) {
+        return bench.executor->SubsetCardinality(lq.q, tables);
+      };
+      optimal_total += planner.BestPlan(lq.q, true_cards).cost;
+    }
+    table.AddRow({"Clean (oracle)", TablePrinter::Num(optimal_total), "1.00",
+                  "1.00", "1.00"});
+
+    for (const std::string& name : models) {
+      auto est = ce::MakeEstimator(name, neural);
+      if (!est->Build(*bench.db, bench.train).ok()) continue;
+      eval::WorkloadPlanQuality agg = eval::EvaluateWorkloadPlanQuality(
+          *bench.db, *bench.executor, planner, est.get(), e2e);
+      table.AddRow({name, TablePrinter::Num(agg.total_est_cost),
+                    TablePrinter::Fixed(
+                        agg.total_est_cost / std::max(1.0, agg.total_opt_cost),
+                        2),
+                    TablePrinter::Fixed(agg.mean_p_error, 2),
+                    TablePrinter::Fixed(agg.max_p_error, 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

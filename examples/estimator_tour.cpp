@@ -1,0 +1,56 @@
+// Scenario: choosing an estimator for a workload.
+//
+// Builds every estimator in the zoo on a STATS-like forum database, measures
+// accuracy / build time / footprint, and prints a recommendation the way a
+// model advisor would.
+
+#include <cstdio>
+
+#include "src/ce/factory.h"
+#include "src/eval/metrics.h"
+#include "src/storage/datagen.h"
+#include "src/util/table_printer.h"
+#include "src/util/timer.h"
+#include "src/workload/generator.h"
+
+int main() {
+  using namespace lce;
+
+  auto db = storage::datagen::Generate(storage::datagen::StatsLikeSpec(0.08),
+                                       21);
+  workload::WorkloadOptions wopts;
+  wopts.max_joins = 2;
+  workload::WorkloadGenerator gen(db.get(), wopts);
+  Rng rng(22);
+  auto train = gen.GenerateLabeled(1000, &rng);
+  auto test = gen.GenerateLabeled(200, &rng);
+
+  ce::NeuralOptions neural;
+  neural.epochs = 15;
+  neural.hidden_dim = 48;
+
+  TablePrinter table({"estimator", "geo-mean q-err", "p95 q-err", "build_s",
+                      "size_KiB"});
+  std::string best_name;
+  double best_score = 1e300;
+  for (const std::string& name : ce::AllEstimatorNames()) {
+    auto est = ce::MakeEstimator(name, neural);
+    Timer timer;
+    if (!est->Build(*db, train).ok()) continue;
+    double build_s = timer.ElapsedSeconds();
+    auto report = eval::EvaluateAccuracy(est.get(), test);
+    table.AddRow({name, TablePrinter::Num(report.summary.geo_mean),
+                  TablePrinter::Num(report.summary.p95),
+                  TablePrinter::Fixed(build_s, 2),
+                  TablePrinter::Fixed(est->SizeBytes() / 1024.0, 1)});
+    // Simple advisor score: tail-weighted accuracy.
+    double score = report.summary.geo_mean * std::sqrt(report.summary.p95);
+    if (score < best_score) {
+      best_score = score;
+      best_name = name;
+    }
+  }
+  table.Print();
+  std::printf("\nadvisor pick for this workload: %s\n", best_name.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scenario: an interactive estimation shell.
+//
+// Generates (or loads) a database, trains a small panel of estimators, then
+// reads SQL COUNT(*) queries from stdin and prints each estimator's guess
+// next to the true count. Run it and paste queries, e.g.:
+//
+//   SELECT COUNT(*) FROM customer, orders
+//   WHERE customer.c_custkey = orders.o_custkey
+//     AND customer.c_mktsegment = 2;
+//
+// With no stdin (a terminal-less harness run), it demos three canned queries.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/ce/factory.h"
+#include "src/eval/metrics.h"
+#include "src/exec/executor.h"
+#include "src/query/parser.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+int main() {
+  using namespace lce;
+
+  auto db = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.08), 7);
+  exec::Executor executor(db.get());
+  workload::WorkloadOptions wopts;
+  wopts.max_joins = 3;
+  workload::WorkloadGenerator gen(db.get(), wopts);
+  Rng rng(8);
+  auto train = gen.GenerateLabeled(1000, &rng);
+
+  std::vector<std::unique_ptr<ce::Estimator>> panel;
+  for (const std::string& name :
+       {std::string("Histogram"), std::string("FCN"), std::string("LW-XGB")}) {
+    auto est = ce::MakeEstimator(name);
+    LCE_CHECK_OK(est->Build(*db, train));
+    panel.push_back(std::move(est));
+  }
+  std::printf("schema: ");
+  for (const auto& t : db->schema().tables) std::printf("%s ", t.name.c_str());
+  std::printf("\nenter SQL COUNT(*) queries, one per line (empty line quits)\n");
+
+  auto answer = [&](const std::string& sql) {
+    auto parsed = query::ParseSql(sql, *db);
+    if (!parsed.ok()) {
+      std::printf("  parse error: %s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    double truth = executor.Cardinality(parsed.value());
+    std::printf("  true count: %.0f\n", truth);
+    for (auto& est : panel) {
+      double guess = est->EstimateCardinality(parsed.value());
+      std::printf("  %-10s -> %-12.0f (q-error %.2f)\n", est->Name().c_str(),
+                  guess, eval::QError(guess, truth));
+    }
+  };
+
+  bool interactive = false;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    interactive = true;
+    answer(line);
+  }
+  if (!interactive) {
+    for (const char* sql :
+         {"SELECT COUNT(*) FROM customer WHERE customer.c_mktsegment = 2;",
+          "SELECT COUNT(*) FROM customer, orders WHERE customer.c_custkey = "
+          "orders.o_custkey AND orders.o_orderpriority = 1;",
+          "SELECT COUNT(*) FROM orders, lineitem WHERE orders.o_orderkey = "
+          "lineitem.l_orderkey AND lineitem.l_quantity BETWEEN 10 AND 20 AND "
+          "orders.o_orderstatus = 0;"}) {
+      std::printf("\n> %s\n", sql);
+      answer(sql);
+    }
+  }
+  return 0;
+}

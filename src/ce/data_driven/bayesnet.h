@@ -1,0 +1,93 @@
+// Tree-shaped Bayesian network estimator (BayesCard-style).
+//
+// Structure: Chow–Liu maximum-spanning tree on pairwise mutual information
+// over binned columns. Parameters: smoothed CPTs P(child | parent). Range
+// queries are answered exactly on the tree by message passing with
+// per-column coverage indicators.
+
+#ifndef LCE_CE_DATA_DRIVEN_BAYESNET_H_
+#define LCE_CE_DATA_DRIVEN_BAYESNET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ce/data_driven/binning.h"
+#include "src/ce/edge_selectivity.h"
+#include "src/ce/estimator.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace ce {
+
+class BayesNetTableModel {
+ public:
+  struct Options {
+    int max_bins = 48;
+    uint64_t max_training_rows = 8000;
+    /// Join combination: measured per-edge selectivities instead of the
+    /// distinct-count formula (the R19 ablation knob).
+    bool use_edge_selectivity = false;
+    /// Rescales each join edge by the predicate-conditioned mean fanout
+    /// (FanoutCorrection) — the fix for predicate-fanout correlation.
+    bool use_fanout_correction = false;
+  };
+
+  void Fit(const storage::Table& table, const Options& options, Rng* rng);
+
+  double Selectivity(
+      const std::vector<std::optional<std::pair<storage::Value,
+                                                storage::Value>>>& ranges)
+      const;
+
+  uint64_t SizeBytes() const;
+
+ private:
+  /// Upward message of `node`: for each of its bins, P(subtree indicators,
+  /// node = bin | ...) excluding the link to its parent.
+  std::vector<double> Message(
+      int node,
+      const std::vector<std::vector<double>>& indicators) const;
+
+  Options options_;
+  std::vector<ColumnBinner> binners_;
+  std::vector<int> modeled_cols_;
+  std::vector<int> model_index_of_col_;
+  // Tree structure over modeled columns.
+  int root_ = -1;
+  std::vector<int> parent_;                    // -1 for root
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<double>> prior_;     // root: P(bin); others unused
+  // cpt_[i][parent_bin][child_bin] = P(i = child_bin | parent = parent_bin)
+  std::vector<std::vector<std::vector<double>>> cpt_;
+};
+
+class BayesNetEstimator : public Estimator {
+ public:
+  BayesNetEstimator() : BayesNetEstimator(BayesNetTableModel::Options{}) {}
+  explicit BayesNetEstimator(BayesNetTableModel::Options options,
+                             uint64_t seed = 173)
+      : options_(options), seed_(seed) {}
+
+  std::string Name() const override { return "BayesNet"; }
+  Status Build(const storage::Database& db,
+               const std::vector<query::LabeledQuery>& training) override;
+  double EstimateCardinality(const query::Query& q) override;
+  Status UpdateWithData(const storage::Database& db) override;
+  uint64_t SizeBytes() const override;
+
+ private:
+  BayesNetTableModel::Options options_;
+  uint64_t seed_;
+  const storage::DatabaseSchema* schema_ = nullptr;
+  std::vector<BayesNetTableModel> models_;
+  std::vector<double> table_rows_;
+  std::vector<std::vector<uint64_t>> distinct_;
+  std::vector<double> edge_rho_;
+  FanoutCorrection fanout_;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_DATA_DRIVEN_BAYESNET_H_

@@ -1,0 +1,69 @@
+#include "src/ce/data_driven/binning.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+void ColumnBinner::Fit(const storage::ColumnStats& stats, int max_bins) {
+  LCE_CHECK(max_bins >= 1);
+  min_ = stats.min;
+  max_ = stats.max;
+  uint64_t span = static_cast<uint64_t>(max_ - min_) + 1;
+  bins_ = static_cast<int>(
+      std::min<uint64_t>(static_cast<uint64_t>(max_bins), span));
+  bins_ = std::max(1, bins_);
+  width_ = static_cast<double>(span) / bins_;
+}
+
+int ColumnBinner::BinOf(storage::Value v) const {
+  if (v <= min_) return 0;
+  if (v >= max_) return bins_ - 1;
+  int b = static_cast<int>(static_cast<double>(v - min_) / width_);
+  return std::clamp(b, 0, bins_ - 1);
+}
+
+std::vector<std::pair<int, double>> ColumnBinner::Overlap(
+    storage::Value lo, storage::Value hi) const {
+  std::vector<std::pair<int, double>> out;
+  if (hi < lo || hi < min_ || lo > max_) return out;
+  double qlo = static_cast<double>(std::max(lo, min_) - min_);
+  double qhi = static_cast<double>(std::min(hi, max_) - min_) + 1.0;
+  int first = std::clamp(static_cast<int>(qlo / width_), 0, bins_ - 1);
+  int last = std::clamp(static_cast<int>((qhi - 1e-9) / width_), 0, bins_ - 1);
+  for (int b = first; b <= last; ++b) {
+    double blo = b * width_;
+    double bhi = blo + width_;
+    double overlap = (std::min(qhi, bhi) - std::max(qlo, blo)) / width_;
+    if (overlap > 0) out.push_back({b, std::min(1.0, overlap)});
+  }
+  return out;
+}
+
+std::vector<ColumnBinner> FitBinners(const storage::Table& table,
+                                     int max_bins) {
+  LCE_CHECK(table.finalized());
+  std::vector<ColumnBinner> binners(table.num_columns());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    binners[c].Fit(table.stats(c), max_bins);
+  }
+  return binners;
+}
+
+std::vector<std::vector<int>> BinTable(
+    const storage::Table& table, const std::vector<ColumnBinner>& binners) {
+  std::vector<std::vector<int>> out(table.num_rows(),
+                                    std::vector<int>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const auto& col = table.column(c);
+    for (uint64_t r = 0; r < col.size(); ++r) {
+      out[r][c] = binners[c].BinOf(col[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ce
+}  // namespace lce

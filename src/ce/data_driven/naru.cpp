@@ -1,0 +1,257 @@
+#include "src/ce/data_driven/naru.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ce/edge_selectivity.h"
+#include "src/ce/join_formula.h"
+#include "src/nn/adam.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+namespace {
+
+// Softmax over a logits row in place.
+void SoftmaxInPlace(std::vector<float>* logits) {
+  float max_logit = *std::max_element(logits->begin(), logits->end());
+  float sum = 0;
+  for (float& v : *logits) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  for (float& v : *logits) v /= sum;
+}
+
+}  // namespace
+
+void NaruTableModel::Fit(const storage::Table& table, const Options& options,
+                         Rng* rng) {
+  options_ = options;
+  modeled_cols_.clear();
+  conditionals_.clear();
+  prefix_offset_.clear();
+  marginal0_.clear();
+  binners_ = FitBinners(table, options.max_bins);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!table.schema().columns[c].is_key) modeled_cols_.push_back(c);
+  }
+  if (modeled_cols_.empty()) return;
+
+  // Training sample of rows (uniform without replacement via partial F-Y).
+  uint64_t n = table.num_rows();
+  uint64_t take = std::min(options.max_training_rows, n);
+  std::vector<uint64_t> ids(n);
+  for (uint64_t i = 0; i < n; ++i) ids[i] = i;
+  for (uint64_t i = 0; i < take; ++i) {
+    uint64_t j = i + static_cast<uint64_t>(
+                         rng->UniformInt(0, static_cast<int64_t>(n - i) - 1));
+    std::swap(ids[i], ids[j]);
+  }
+
+  // Binned training matrix restricted to modeled columns.
+  std::vector<std::vector<int>> rows(take,
+                                     std::vector<int>(modeled_cols_.size()));
+  for (size_t m = 0; m < modeled_cols_.size(); ++m) {
+    const auto& col = table.column(modeled_cols_[m]);
+    for (uint64_t i = 0; i < take; ++i) {
+      rows[i][m] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
+    }
+  }
+
+  // Prefix layout.
+  prefix_offset_.resize(modeled_cols_.size());
+  prefix_dim_total_ = 0;
+  for (size_t m = 0; m < modeled_cols_.size(); ++m) {
+    prefix_offset_[m] = prefix_dim_total_;
+    prefix_dim_total_ += binners_[modeled_cols_[m]].num_bins();
+  }
+
+  // Exact empirical marginal of the first modeled column.
+  int bins0 = binners_[modeled_cols_[0]].num_bins();
+  marginal0_.assign(bins0, 1e-6);  // smoothing
+  for (const auto& row : rows) marginal0_[row[0]] += 1.0;
+  double total = 0;
+  for (double v : marginal0_) total += v;
+  for (double& v : marginal0_) v /= total;
+
+  // One conditional MLP per later column, trained with softmax CE.
+  for (size_t m = 1; m < modeled_cols_.size(); ++m) {
+    int in_dim = prefix_offset_[m];
+    int out_dim = binners_[modeled_cols_[m]].num_bins();
+    conditionals_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int>{in_dim, options.hidden_dim, out_dim},
+        nn::Activation::kRelu, nn::Activation::kIdentity, rng));
+  }
+  std::vector<int> order(take);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (size_t m = 1; m < modeled_cols_.size(); ++m) {
+    nn::Mlp* net = conditionals_[m - 1].get();
+    nn::Adam adam(options.learning_rate);
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      rng->Shuffle(&order);
+      for (size_t start = 0; start < order.size();
+           start += options.batch_size) {
+        size_t end = std::min(order.size(),
+                              start + static_cast<size_t>(options.batch_size));
+        int b = static_cast<int>(end - start);
+        // Batch of one-hot prefixes.
+        nn::Matrix x(b, prefix_offset_[m]);
+        std::vector<int> labels(b);
+        for (int i = 0; i < b; ++i) {
+          const auto& row = rows[order[start + i]];
+          for (size_t p = 0; p < m; ++p) {
+            x.At(i, prefix_offset_[p] + row[p]) = 1.0f;
+          }
+          labels[i] = row[m];
+        }
+        nn::Matrix logits = net->Forward(x);
+        // Softmax CE gradient: p - onehot, averaged over the batch.
+        nn::Matrix grad(b, logits.cols());
+        for (int i = 0; i < b; ++i) {
+          std::vector<float> p = logits.RowVector(i);
+          SoftmaxInPlace(&p);
+          for (int c = 0; c < logits.cols(); ++c) {
+            grad.At(i, c) = (p[c] - (c == labels[i] ? 1.0f : 0.0f)) /
+                            static_cast<float>(b);
+          }
+        }
+        net->Backward(grad);
+        adam.Step(net->Params());
+      }
+    }
+  }
+}
+
+std::vector<float> NaruTableModel::Conditional(
+    int i, const std::vector<int>& prefix) const {
+  if (i == 0) {
+    return std::vector<float>(marginal0_.begin(), marginal0_.end());
+  }
+  nn::Matrix x(1, prefix_offset_[i]);
+  for (int p = 0; p < i; ++p) x.At(0, prefix_offset_[p] + prefix[p]) = 1.0f;
+  // NOTE: Mlp caches for backward; inference-only use is safe.
+  std::vector<float> logits =
+      const_cast<nn::Mlp*>(conditionals_[i - 1].get())->Forward(x).RowVector(0);
+  SoftmaxInPlace(&logits);
+  return logits;
+}
+
+double NaruTableModel::Selectivity(
+    const std::vector<std::optional<std::pair<storage::Value, storage::Value>>>&
+        ranges,
+    Rng* rng) const {
+  if (modeled_cols_.empty()) return 1.0;
+  // Progressive sampling only needs columns up to the last constrained one.
+  int last = -1;
+  for (size_t m = 0; m < modeled_cols_.size(); ++m) {
+    if (ranges[modeled_cols_[m]].has_value()) last = static_cast<int>(m);
+  }
+  if (last < 0) return 1.0;
+
+  double total_weight = 0;
+  for (int s = 0; s < options_.num_samples; ++s) {
+    std::vector<int> prefix;
+    double weight = 1.0;
+    for (int m = 0; m <= last; ++m) {
+      std::vector<float> dist = Conditional(m, prefix);
+      const auto& range = ranges[modeled_cols_[m]];
+      if (range.has_value()) {
+        auto overlap =
+            binners_[modeled_cols_[m]].Overlap(range->first, range->second);
+        double mass = 0;
+        std::vector<double> restricted(dist.size(), 0.0);
+        for (auto [bin, frac] : overlap) {
+          double p = static_cast<double>(dist[bin]) * frac;
+          restricted[bin] = p;
+          mass += p;
+        }
+        if (mass <= 0) {
+          weight = 0;
+          break;
+        }
+        weight *= mass;
+        prefix.push_back(static_cast<int>(rng->Weighted(restricted)));
+      } else {
+        std::vector<double> d(dist.begin(), dist.end());
+        prefix.push_back(static_cast<int>(rng->Weighted(d)));
+      }
+    }
+    total_weight += weight;
+  }
+  return total_weight / options_.num_samples;
+}
+
+uint64_t NaruTableModel::SizeBytes() const {
+  uint64_t bytes = marginal0_.size() * sizeof(double);
+  for (const auto& net : conditionals_) {
+    bytes += net->NumParams() * sizeof(float);
+  }
+  return bytes;
+}
+
+Status NaruEstimator::Build(const storage::Database& db,
+                            const std::vector<query::LabeledQuery>& training) {
+  (void)training;  // data-driven: learns from the data alone
+  return UpdateWithData(db);
+}
+
+Status NaruEstimator::UpdateWithData(const storage::Database& db) {
+  schema_ = &db.schema();
+  rng_ = Rng(seed_);
+  models_.clear();
+  models_.resize(db.num_tables());
+  table_rows_.assign(db.num_tables(), 0);
+  distinct_.assign(db.num_tables(), {});
+  for (int t = 0; t < db.num_tables(); ++t) {
+    const storage::Table& table = db.table(t);
+    if (!table.finalized()) {
+      return Status::FailedPrecondition("table not finalized");
+    }
+    Rng fork = rng_.Fork();
+    models_[t].Fit(table, options_, &fork);
+    table_rows_[t] = static_cast<double>(table.num_rows());
+    distinct_[t].resize(table.num_columns());
+    for (int c = 0; c < table.num_columns(); ++c) {
+      distinct_[t][c] = std::max<uint64_t>(1, table.stats(c).distinct);
+    }
+  }
+  if (options_.use_edge_selectivity) {
+    edge_rho_ = ComputeEdgeSelectivities(db);
+  }
+  if (options_.use_fanout_correction) {
+    fanout_.Build(db, FanoutCorrection::Options{});
+  }
+  return Status::OK();
+}
+
+double NaruEstimator::EstimateCardinality(const query::Query& q) {
+  LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  auto filtered_rows = [&](int t) {
+    std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
+        ranges(schema_->tables[t].columns.size());
+    for (const query::Predicate& p : q.predicates) {
+      if (p.col.table == t) ranges[p.col.column] = {{p.lo, p.hi}};
+    }
+    return table_rows_[t] * models_[t].Selectivity(ranges, &rng_);
+  };
+  double correction =
+      options_.use_fanout_correction ? fanout_.CorrectionFactor(q) : 1.0;
+  double base =
+      options_.use_edge_selectivity
+          ? CombineWithEdgeSelectivities(*schema_, q, filtered_rows, edge_rho_)
+          : CombineWithJoinFormula(*schema_, q, filtered_rows, [&](int t, int c) {
+              return static_cast<double>(distinct_[t][c]);
+            });
+  return std::max(1.0, base * correction);
+}
+
+uint64_t NaruEstimator::SizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& m : models_) bytes += m.SizeBytes();
+  return bytes;
+}
+
+}  // namespace ce
+}  // namespace lce

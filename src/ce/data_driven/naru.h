@@ -1,0 +1,102 @@
+// Naru-style deep autoregressive estimator (Yang et al., adapted).
+//
+// Per table, the joint distribution over discretized non-key columns is
+// factorized autoregressively: P(x) = prod_i P(x_i | x_<i>). Each conditional
+// is a small MLP over the one-hot prefix (the first column keeps its exact
+// empirical marginal). Range queries are answered with progressive sampling,
+// Naru's inference algorithm. Joins use the distinct-count combination (see
+// join_formula.h); DESIGN.md documents this substitution for the full
+// fanout-based join support of NeuroCard.
+
+#ifndef LCE_CE_DATA_DRIVEN_NARU_H_
+#define LCE_CE_DATA_DRIVEN_NARU_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ce/data_driven/binning.h"
+#include "src/ce/edge_selectivity.h"
+#include "src/ce/estimator.h"
+#include "src/nn/mlp.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace ce {
+
+/// Autoregressive model of one table.
+class NaruTableModel {
+ public:
+  struct Options {
+    int max_bins = 64;
+    int hidden_dim = 32;
+    int epochs = 6;
+    int batch_size = 64;
+    float learning_rate = 2e-3f;
+    uint64_t max_training_rows = 6000;
+    int num_samples = 64;  // progressive-sampling paths
+    /// Join combination: measured per-edge selectivities instead of the
+    /// distinct-count formula (the R19 ablation knob).
+    bool use_edge_selectivity = false;
+    /// Rescales each join edge by the predicate-conditioned mean fanout
+    /// (FanoutCorrection) — the fix for predicate-fanout correlation.
+    bool use_fanout_correction = false;
+  };
+
+  /// Fits on `table`; models all non-key columns in schema order.
+  void Fit(const storage::Table& table, const Options& options, Rng* rng);
+
+  /// P(lo_c <= col_c <= hi_c for all constrained c). `ranges` is indexed by
+  /// table-local column; unconstrained columns are nullopt. Uses progressive
+  /// sampling with options.num_samples paths.
+  double Selectivity(
+      const std::vector<std::optional<std::pair<storage::Value,
+                                                storage::Value>>>& ranges,
+      Rng* rng) const;
+
+  uint64_t SizeBytes() const;
+
+ private:
+  /// Conditional distribution of modeled column `i` given the sampled prefix
+  /// (bin ids of modeled columns 0..i-1). Returns a probability vector.
+  std::vector<float> Conditional(int i, const std::vector<int>& prefix) const;
+
+  Options options_;
+  std::vector<int> modeled_cols_;       // table-local indexes of modeled cols
+  std::vector<ColumnBinner> binners_;   // per table column (all columns)
+  std::vector<double> marginal0_;       // empirical marginal of first modeled
+  std::vector<std::unique_ptr<nn::Mlp>> conditionals_;  // for i >= 1
+  std::vector<int> prefix_offset_;      // one-hot offset of modeled col i
+  int prefix_dim_total_ = 0;
+};
+
+class NaruEstimator : public Estimator {
+ public:
+  NaruEstimator() : NaruEstimator(NaruTableModel::Options{}) {}
+  explicit NaruEstimator(NaruTableModel::Options options, uint64_t seed = 97)
+      : options_(options), seed_(seed), rng_(seed) {}
+
+  std::string Name() const override { return "Naru"; }
+  Status Build(const storage::Database& db,
+               const std::vector<query::LabeledQuery>& training) override;
+  double EstimateCardinality(const query::Query& q) override;
+  Status UpdateWithData(const storage::Database& db) override;
+  uint64_t SizeBytes() const override;
+
+ private:
+  NaruTableModel::Options options_;
+  uint64_t seed_;
+  Rng rng_;
+  const storage::DatabaseSchema* schema_ = nullptr;
+  std::vector<NaruTableModel> models_;
+  std::vector<double> table_rows_;
+  std::vector<std::vector<uint64_t>> distinct_;
+  std::vector<double> edge_rho_;
+  FanoutCorrection fanout_;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_DATA_DRIVEN_NARU_H_

@@ -1,0 +1,107 @@
+// Sum-product network estimator (DeepDB-style, Hilprecht et al.).
+//
+// Structure learning follows the LearnSPN recipe: product nodes split columns
+// into (approximately) independent groups via a correlation test; sum nodes
+// split rows with 2-means clustering; leaves hold smoothed per-column bin
+// histograms. Range probabilities are evaluated bottom-up. Joins use the
+// distinct-count combination (DESIGN.md documents the substitution for
+// DeepDB's fanout-annotated join SPNs).
+
+#ifndef LCE_CE_DATA_DRIVEN_SPN_H_
+#define LCE_CE_DATA_DRIVEN_SPN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ce/data_driven/binning.h"
+#include "src/ce/edge_selectivity.h"
+#include "src/ce/estimator.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace ce {
+
+class SpnTableModel {
+ public:
+  struct Options {
+    int max_bins = 64;
+    uint64_t max_training_rows = 8000;
+    size_t min_rows_split = 400;
+    double corr_threshold = 0.3;
+    int kmeans_iters = 8;
+    /// Join combination: measured per-edge selectivities instead of the
+    /// distinct-count formula (the R19 ablation knob).
+    bool use_edge_selectivity = false;
+    /// Rescales each join edge by the predicate-conditioned mean fanout
+    /// (FanoutCorrection) — the fix for predicate-fanout correlation.
+    bool use_fanout_correction = false;
+  };
+
+  void Fit(const storage::Table& table, const Options& options, Rng* rng);
+
+  /// P(conjunction of ranges) over modeled (non-key) columns; unmodeled
+  /// constrained columns contribute a uniform factor.
+  double Selectivity(
+      const std::vector<std::optional<std::pair<storage::Value,
+                                                storage::Value>>>& ranges)
+      const;
+
+  uint64_t SizeBytes() const;
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    enum class Kind { kSum, kProduct, kLeaf } kind = Kind::kLeaf;
+    std::vector<int> children;
+    std::vector<double> weights;    // sum nodes, parallel to children
+    int column = -1;                // leaf: table-local column index
+    std::vector<double> histogram;  // leaf: smoothed bin probabilities
+  };
+
+  int BuildNode(const std::vector<std::vector<int>>& data,
+                const std::vector<uint32_t>& rows,
+                const std::vector<int>& cols, Rng* rng);
+  int MakeLeaf(const std::vector<std::vector<int>>& data,
+               const std::vector<uint32_t>& rows, int col);
+  double EvalNode(int node,
+                  const std::vector<std::vector<std::pair<int, double>>*>&
+                      overlaps_by_col) const;
+
+  Options options_;
+  std::vector<ColumnBinner> binners_;
+  std::vector<int> modeled_cols_;
+  std::vector<int> model_index_of_col_;  // table col -> modeled index or -1
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+class SpnEstimator : public Estimator {
+ public:
+  SpnEstimator() : SpnEstimator(SpnTableModel::Options{}) {}
+  explicit SpnEstimator(SpnTableModel::Options options, uint64_t seed = 131)
+      : options_(options), seed_(seed) {}
+
+  std::string Name() const override { return "DeepDB-SPN"; }
+  Status Build(const storage::Database& db,
+               const std::vector<query::LabeledQuery>& training) override;
+  double EstimateCardinality(const query::Query& q) override;
+  Status UpdateWithData(const storage::Database& db) override;
+  uint64_t SizeBytes() const override;
+
+ private:
+  SpnTableModel::Options options_;
+  uint64_t seed_;
+  const storage::DatabaseSchema* schema_ = nullptr;
+  std::vector<SpnTableModel> models_;
+  std::vector<double> table_rows_;
+  std::vector<std::vector<uint64_t>> distinct_;
+  std::vector<double> edge_rho_;
+  FanoutCorrection fanout_;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_DATA_DRIVEN_SPN_H_

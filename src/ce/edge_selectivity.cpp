@@ -1,0 +1,131 @@
+#include "src/ce/edge_selectivity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/exec/executor.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace ce {
+
+std::vector<double> ComputeEdgeSelectivities(const storage::Database& db) {
+  const storage::DatabaseSchema& schema = db.schema();
+  exec::Executor executor(&db);
+  std::vector<double> rho;
+  rho.reserve(schema.joins.size());
+  for (size_t j = 0; j < schema.joins.size(); ++j) {
+    const storage::JoinEdge& e = schema.joins[j];
+    int lt = schema.TableIndex(e.left_table);
+    int rt = schema.TableIndex(e.right_table);
+    query::Query pair;
+    pair.tables = {std::min(lt, rt), std::max(lt, rt)};
+    pair.join_edges = {static_cast<int>(j)};
+    double join_count = executor.Cardinality(pair);
+    double cross = static_cast<double>(db.table(lt).num_rows()) *
+                   static_cast<double>(db.table(rt).num_rows());
+    rho.push_back(cross > 0 ? join_count / cross : 0.0);
+  }
+  return rho;
+}
+
+void FanoutCorrection::Build(const storage::Database& db,
+                             const Options& options) {
+  const storage::DatabaseSchema& schema = db.schema();
+  edges_.clear();
+  built_empty_ = schema.joins.empty();
+  Rng rng(options.seed);
+  for (const storage::JoinEdge& e : schema.joins) {
+    // Convention: the left side of an edge is the PK (dimension) side.
+    EdgeSample sample;
+    int pk = schema.TableIndex(e.left_table);
+    int fk = schema.TableIndex(e.right_table);
+    int pk_col = schema.tables[pk].ColumnIndex(e.left_column);
+    int fk_col = schema.tables[fk].ColumnIndex(e.right_column);
+    sample.pk_table = pk;
+    const storage::Table& pk_table = db.table(pk);
+    const storage::Table& fk_table = db.table(fk);
+
+    // FK value frequencies (exact fanout per key).
+    std::unordered_map<storage::Value, double> fanout_of_key;
+    for (storage::Value v : fk_table.column(fk_col)) fanout_of_key[v] += 1.0;
+    double mean =
+        pk_table.num_rows() > 0
+            ? static_cast<double>(fk_table.num_rows()) /
+                  static_cast<double>(pk_table.num_rows())
+            : 0.0;
+    sample.mean_fanout = mean;
+
+    uint64_t n = pk_table.num_rows();
+    uint64_t take = std::min<uint64_t>(options.sample_rows, n);
+    std::vector<uint64_t> ids(n);
+    for (uint64_t i = 0; i < n; ++i) ids[i] = i;
+    for (uint64_t i = 0; i < take; ++i) {
+      uint64_t j = i + static_cast<uint64_t>(
+                           rng.UniformInt(0, static_cast<int64_t>(n - i) - 1));
+      std::swap(ids[i], ids[j]);
+    }
+    sample.columns.resize(pk_table.num_columns());
+    sample.fanout.resize(take);
+    for (int c = 0; c < pk_table.num_columns(); ++c) {
+      sample.columns[c].reserve(take);
+      for (uint64_t i = 0; i < take; ++i) {
+        sample.columns[c].push_back(pk_table.column(c)[ids[i]]);
+      }
+    }
+    for (uint64_t i = 0; i < take; ++i) {
+      storage::Value key = pk_table.column(pk_col)[ids[i]];
+      auto it = fanout_of_key.find(key);
+      sample.fanout[i] = it == fanout_of_key.end() ? 0.0 : it->second;
+    }
+    edges_.push_back(std::move(sample));
+  }
+}
+
+double FanoutCorrection::CorrectionFactor(const query::Query& q) const {
+  double factor = 1.0;
+  for (int j : q.join_edges) {
+    const EdgeSample& edge = edges_[j];
+    if (edge.mean_fanout <= 0 || edge.fanout.empty()) continue;
+    // Predicates of q on the PK-side table.
+    std::vector<const query::Predicate*> preds;
+    for (const query::Predicate& p : q.predicates) {
+      if (p.col.table == edge.pk_table) preds.push_back(&p);
+    }
+    if (preds.empty()) continue;
+    double mass = 0;
+    size_t passing = 0;
+    for (size_t i = 0; i < edge.fanout.size(); ++i) {
+      bool pass = true;
+      for (const query::Predicate* p : preds) {
+        storage::Value v = edge.columns[p->col.column][i];
+        if (v < p->lo || v > p->hi) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        mass += edge.fanout[i];
+        ++passing;
+      }
+    }
+    if (passing == 0) continue;  // no evidence: leave the edge uncorrected
+    double conditional_mean = mass / static_cast<double>(passing);
+    factor *= conditional_mean / edge.mean_fanout;
+  }
+  return factor;
+}
+
+double CombineWithEdgeSelectivities(
+    const storage::DatabaseSchema& schema, const query::Query& q,
+    const std::function<double(int)>& filtered_rows,
+    const std::vector<double>& edge_rho) {
+  (void)schema;
+  double card = 1.0;
+  for (int t : q.tables) card *= filtered_rows(t);
+  for (int j : q.join_edges) card *= edge_rho[j];
+  return std::max(1.0, card);
+}
+
+}  // namespace ce
+}  // namespace lce

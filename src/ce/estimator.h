@@ -1,0 +1,61 @@
+// The uniform cardinality-estimator interface of the study.
+//
+// Every estimator — traditional, query-driven, data-driven — implements this
+// API so the evaluation harness, the optimizer, and the update experiments can
+// treat the whole zoo interchangeably.
+
+#ifndef LCE_CE_ESTIMATOR_H_
+#define LCE_CE_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/storage/database.h"
+#include "src/util/status.h"
+
+namespace lce {
+namespace ce {
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Human-readable name used in every result table ("FCN", "MSCN", ...).
+  virtual std::string Name() const = 0;
+
+  /// Builds the estimator. Query-driven estimators consume `training`
+  /// (queries labeled with true cardinalities); data-driven and traditional
+  /// estimators read the database and may ignore the workload.
+  virtual Status Build(const storage::Database& db,
+                       const std::vector<query::LabeledQuery>& training) = 0;
+
+  /// Estimated COUNT(*) of `q`. Always >= 1 (the study's q-error convention
+  /// clamps both sides at one tuple).
+  virtual double EstimateCardinality(const query::Query& q) = 0;
+
+  /// Incorporates newly observed labeled queries (incremental training).
+  /// Default: unsupported (traditional/data-driven estimators).
+  virtual Status UpdateWithQueries(
+      const std::vector<query::LabeledQuery>& queries) {
+    (void)queries;
+    return Status::Unimplemented(Name() + " does not update from queries");
+  }
+
+  /// Refreshes the estimator after the underlying data changed (appends).
+  /// Default: unsupported; the harness then measures the stale model.
+  virtual Status UpdateWithData(const storage::Database& db) {
+    (void)db;
+    return Status::Unimplemented(Name() + " does not update from data");
+  }
+
+  /// Approximate size of the built estimator in bytes (statistics, samples,
+  /// or model parameters) — the footprint column of experiment R2.
+  virtual uint64_t SizeBytes() const = 0;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_ESTIMATOR_H_

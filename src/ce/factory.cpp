@@ -1,0 +1,83 @@
+#include "src/ce/factory.h"
+
+#include "src/ce/data_driven/bayesnet.h"
+#include "src/ce/data_driven/naru.h"
+#include "src/ce/data_driven/spn.h"
+#include "src/ce/query_driven/flat_models.h"
+#include "src/ce/query_driven/lwxgb_model.h"
+#include "src/ce/query_driven/recurrent_models.h"
+#include "src/ce/query_driven/set_models.h"
+#include "src/ce/traditional/histogram.h"
+#include "src/ce/traditional/kde.h"
+#include "src/ce/traditional/multidim_histogram.h"
+#include "src/ce/traditional/sampling.h"
+#include "src/ce/traditional/wander_join.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+std::vector<std::string> AllEstimatorNames() {
+  return {"Histogram", "MultiHist",  "Sampling", "KDE",
+          "WanderJoin",                                      // traditional
+          "Linear",    "FCN",        "FCN+Pool", "MSCN",
+          "RNN",       "LSTM",       "LW-XGB",               // query-driven
+          "Naru",      "DeepDB-SPN", "BayesNet"};            // data-driven
+}
+
+std::vector<std::string> QueryDrivenNeuralNames() {
+  return {"Linear", "FCN", "FCN+Pool", "MSCN", "RNN", "LSTM"};
+}
+
+std::unique_ptr<Estimator> MakeEstimator(const std::string& name,
+                                         const NeuralOptions& neural,
+                                         uint64_t seed) {
+  NeuralOptions n = neural;
+  n.seed = seed;
+  if (name == "Histogram") return std::make_unique<HistogramEstimator>();
+  if (name == "MultiHist") {
+    return std::make_unique<MultiDimHistogramEstimator>();
+  }
+  if (name == "Sampling") {
+    SamplingEstimator::Options o;
+    o.seed = seed;
+    return std::make_unique<SamplingEstimator>(o);
+  }
+  if (name == "KDE") {
+    KdeEstimator::Options o;
+    o.seed = seed;
+    return std::make_unique<KdeEstimator>(o);
+  }
+  if (name == "WanderJoin") {
+    WanderJoinEstimator::Options o;
+    o.seed = seed;
+    return std::make_unique<WanderJoinEstimator>(o);
+  }
+  if (name == "Linear") return std::make_unique<LinearEstimator>(n);
+  if (name == "FCN") return std::make_unique<FcnEstimator>(n);
+  if (name == "FCN+Pool") return std::make_unique<FcnPoolEstimator>(n);
+  if (name == "MSCN") return std::make_unique<MscnEstimator>(n);
+  if (name == "RNN") return std::make_unique<RnnEstimator>(n);
+  if (name == "LSTM") return std::make_unique<LstmEstimator>(n);
+  if (name == "LW-XGB") {
+    LwXgbEstimator::Options o;
+    o.seed = seed;
+    o.flat_variant = neural.flat_variant;
+    return std::make_unique<LwXgbEstimator>(o);
+  }
+  if (name == "Naru") {
+    return std::make_unique<NaruEstimator>(NaruTableModel::Options{}, seed);
+  }
+  if (name == "DeepDB-SPN") {
+    return std::make_unique<SpnEstimator>(SpnTableModel::Options{}, seed);
+  }
+  if (name == "BayesNet") {
+    return std::make_unique<BayesNetEstimator>(BayesNetTableModel::Options{},
+                                               seed);
+  }
+  LCE_CHECK_MSG(false, "unknown estimator name: " << name);
+  return nullptr;
+}
+
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,32 @@
+// Construction of the full estimator zoo by name.
+
+#ifndef LCE_CE_FACTORY_H_
+#define LCE_CE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/estimator.h"
+#include "src/ce/query_driven/neural_base.h"
+
+namespace lce {
+namespace ce {
+
+/// Names accepted by MakeEstimator. Order matches the study's tables:
+/// traditional, query-driven, data-driven.
+std::vector<std::string> AllEstimatorNames();
+
+/// Query-driven neural estimators only (the architecture-comparison subset).
+std::vector<std::string> QueryDrivenNeuralNames();
+
+/// Builds an estimator by name. `neural` configures the neural query-driven
+/// family (ignored by the others); `seed` controls every stochastic choice.
+std::unique_ptr<Estimator> MakeEstimator(const std::string& name,
+                                         const NeuralOptions& neural = {},
+                                         uint64_t seed = 42);
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_FACTORY_H_

@@ -1,0 +1,45 @@
+// Shared join combination for per-table estimators.
+//
+// Estimators that model single-table distributions (histograms, SPNs,
+// Bayesian networks, autoregressive models) extend to joins with the classic
+// System-R distinct-count formula:
+//   |Q| = prod_t |t| * sel_t(q)  /  prod_(join a=b) max(ndv(a), ndv(b)).
+// This mirrors how such models are deployed when a full join-distribution
+// model is unavailable.
+
+#ifndef LCE_CE_JOIN_FORMULA_H_
+#define LCE_CE_JOIN_FORMULA_H_
+
+#include <algorithm>
+#include <functional>
+
+#include "src/query/query.h"
+#include "src/storage/schema.h"
+
+namespace lce {
+namespace ce {
+
+/// Combines per-table filtered sizes with the distinct-count join formula.
+/// `filtered_rows(t)` returns |t| * sel_t(q); `ndv(t, c)` the distinct count
+/// of column c of table t. Result clamped at one tuple.
+inline double CombineWithJoinFormula(
+    const storage::DatabaseSchema& schema, const query::Query& q,
+    const std::function<double(int)>& filtered_rows,
+    const std::function<double(int, int)>& ndv) {
+  double card = 1.0;
+  for (int t : q.tables) card *= filtered_rows(t);
+  for (int j : q.join_edges) {
+    const storage::JoinEdge& e = schema.joins[j];
+    int lt = schema.TableIndex(e.left_table);
+    int rt = schema.TableIndex(e.right_table);
+    int lc = schema.tables[lt].ColumnIndex(e.left_column);
+    int rc = schema.tables[rt].ColumnIndex(e.right_column);
+    card /= std::max(1.0, std::max(ndv(lt, lc), ndv(rt, rc)));
+  }
+  return std::max(1.0, card);
+}
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_JOIN_FORMULA_H_

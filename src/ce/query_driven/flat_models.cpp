@@ -1,0 +1,49 @@
+#include "src/ce/query_driven/flat_models.h"
+
+namespace lce {
+namespace ce {
+
+void LinearEstimator::InitModel(Rng* rng) {
+  int in = encoder().flat_dim_for(options_.flat_variant);
+  net_ = std::make_unique<nn::Mlp>(std::vector<int>{in, 1},
+                                   nn::Activation::kIdentity,
+                                   nn::Activation::kSigmoid, rng);
+}
+
+float LinearEstimator::ForwardOne(const query::Query& q) {
+  nn::Matrix x =
+      nn::Matrix::Row(encoder().FlatEncode(q, options_.flat_variant));
+  return net_->Forward(x).Scalar();
+}
+
+void LinearEstimator::BackwardOne(float dpred) {
+  nn::Matrix g(1, 1);
+  g.At(0, 0) = dpred;
+  net_->Backward(g);
+}
+
+void FcnEstimator::InitModel(Rng* rng) {
+  std::vector<int> dims;
+  dims.push_back(encoder().flat_dim_for(options_.flat_variant));
+  for (int l = 0; l < options_.num_hidden_layers; ++l) {
+    dims.push_back(options_.hidden_dim);
+  }
+  dims.push_back(1);
+  net_ = std::make_unique<nn::Mlp>(dims, nn::Activation::kRelu,
+                                   nn::Activation::kSigmoid, rng);
+}
+
+float FcnEstimator::ForwardOne(const query::Query& q) {
+  nn::Matrix x =
+      nn::Matrix::Row(encoder().FlatEncode(q, options_.flat_variant));
+  return net_->Forward(x).Scalar();
+}
+
+void FcnEstimator::BackwardOne(float dpred) {
+  nn::Matrix g(1, 1);
+  g.At(0, 0) = dpred;
+  net_->Backward(g);
+}
+
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,57 @@
+// Flat-encoding estimators: Linear and FCN (the "lightweight NN" family).
+
+#ifndef LCE_CE_QUERY_DRIVEN_FLAT_MODELS_H_
+#define LCE_CE_QUERY_DRIVEN_FLAT_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/query_driven/neural_base.h"
+#include "src/nn/mlp.h"
+
+namespace lce {
+namespace ce {
+
+/// Single sigmoid unit over the flat encoding: the study's minimal-capacity
+/// reference point (robust, weak fit).
+class LinearEstimator : public NeuralQueryDrivenEstimator {
+ public:
+  explicit LinearEstimator(NeuralOptions options = {})
+      : NeuralQueryDrivenEstimator(options) {}
+  std::string Name() const override { return "Linear"; }
+
+ protected:
+  void InitModel(Rng* rng) override;
+  float ForwardOne(const query::Query& q) override;
+  void BackwardOne(float dpred) override;
+  std::vector<nn::Param*> Params() override { return net_->Params(); }
+  size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }
+
+ private:
+  std::unique_ptr<nn::Mlp> net_;
+};
+
+/// Fully-connected network over the flat encoding (Dutt et al.'s LW-NN /
+/// the study's FCN). The flat_variant option feeds the encoding ablation.
+class FcnEstimator : public NeuralQueryDrivenEstimator {
+ public:
+  explicit FcnEstimator(NeuralOptions options = {})
+      : NeuralQueryDrivenEstimator(options) {}
+  std::string Name() const override { return "FCN"; }
+
+ protected:
+  void InitModel(Rng* rng) override;
+  float ForwardOne(const query::Query& q) override;
+  void BackwardOne(float dpred) override;
+  std::vector<nn::Param*> Params() override { return net_->Params(); }
+  size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }
+
+ private:
+  std::unique_ptr<nn::Mlp> net_;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_QUERY_DRIVEN_FLAT_MODELS_H_

@@ -1,0 +1,56 @@
+#include "src/ce/query_driven/lwxgb_model.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+Status LwXgbEstimator::Build(
+    const storage::Database& db,
+    const std::vector<query::LabeledQuery>& training) {
+  if (training.empty()) {
+    return Status::InvalidArgument("LW-XGB needs training queries");
+  }
+  encoder_ = std::make_unique<query::QueryEncoder>(
+      &db, query::QueryEncoder::Options{}, options_.seed);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  rows.reserve(training.size());
+  targets.reserve(training.size());
+  for (const auto& lq : training) {
+    rows.push_back(encoder_->FlatEncode(lq.q, options_.flat_variant));
+    targets.push_back(encoder_->NormalizeLog(lq.cardinality));
+  }
+  model_ = std::make_unique<gbdt::GradientBoosting>(options_.gbdt);
+  model_->Fit(rows, targets);
+  return Status::OK();
+}
+
+double LwXgbEstimator::EstimateCardinality(const query::Query& q) {
+  LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateCardinality()");
+  float y = model_->Predict(encoder_->FlatEncode(q, options_.flat_variant));
+  return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
+}
+
+Status LwXgbEstimator::UpdateWithQueries(
+    const std::vector<query::LabeledQuery>& queries) {
+  if (model_ == nullptr) return Status::FailedPrecondition("Build() first");
+  if (queries.empty()) return Status::OK();
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  for (const auto& lq : queries) {
+    rows.push_back(encoder_->FlatEncode(lq.q, options_.flat_variant));
+    targets.push_back(encoder_->NormalizeLog(lq.cardinality));
+  }
+  model_->Boost(rows, targets, options_.update_trees);
+  return Status::OK();
+}
+
+uint64_t LwXgbEstimator::SizeBytes() const {
+  return model_ ? model_->SizeBytes() : 0;
+}
+
+}  // namespace ce
+}  // namespace lce

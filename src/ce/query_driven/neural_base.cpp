@@ -1,0 +1,126 @@
+#include "src/ce/query_driven/neural_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "src/nn/serialize.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+Status NeuralQueryDrivenEstimator::Prepare(const storage::Database& db) {
+  rng_ = Rng(options_.seed);
+  query::QueryEncoder::Options enc_opts;
+  enc_opts.mscn_sample_size = options_.mscn_sample_size;
+  encoder_ = std::make_unique<query::QueryEncoder>(&db, enc_opts,
+                                                   options_.seed ^ 0x5eedULL);
+  InitModel(&rng_);
+  adam_ = std::make_unique<nn::Adam>(options_.learning_rate);
+  return Status::OK();
+}
+
+Status NeuralQueryDrivenEstimator::SaveModel(std::ostream* os) {
+  if (encoder_ == nullptr) {
+    return Status::FailedPrecondition("no model to save: Build() first");
+  }
+  nn::SaveParams(Params(), os);
+  if (!*os) return Status::Internal("model write failed");
+  return Status::OK();
+}
+
+Status NeuralQueryDrivenEstimator::LoadModel(std::istream* is) {
+  if (encoder_ == nullptr) {
+    return Status::FailedPrecondition("Prepare() or Build() before LoadModel");
+  }
+  Status s = nn::LoadParams(Params(), is);
+  if (!s.ok()) return s;
+  built_ = true;
+  return Status::OK();
+}
+
+Status NeuralQueryDrivenEstimator::Build(
+    const storage::Database& db,
+    const std::vector<query::LabeledQuery>& training) {
+  if (training.empty()) {
+    return Status::InvalidArgument(Name() + " needs training queries");
+  }
+  Status prepared = Prepare(db);
+  if (!prepared.ok()) return prepared;
+  epoch_losses_.clear();
+
+  std::vector<int> order(training.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    last_epoch_loss_ = RunEpoch(training, &order, &rng_);
+    epoch_losses_.push_back(last_epoch_loss_);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+double NeuralQueryDrivenEstimator::RunEpoch(
+    const std::vector<query::LabeledQuery>& queries, std::vector<int>* order,
+    Rng* rng) {
+  rng->Shuffle(order);
+  double epoch_loss = 0;
+  size_t n = order->size();
+  size_t batches = 0;
+  for (size_t start = 0; start < n; start += options_.batch_size) {
+    size_t end = std::min(n, start + options_.batch_size);
+    int b = static_cast<int>(end - start);
+    double batch_loss = 0;
+    for (size_t i = start; i < end; ++i) {
+      const query::LabeledQuery& lq = queries[(*order)[i]];
+      float target = encoder_->NormalizeLog(lq.cardinality);
+      float pred = ForwardOne(lq.q);
+      float diff = pred - target;
+      float dpred;
+      switch (options_.loss) {
+        case nn::LossKind::kMse:
+          batch_loss += static_cast<double>(diff) * diff;
+          dpred = 2.0f * diff / static_cast<float>(b);
+          break;
+        case nn::LossKind::kLogQ:
+        default:
+          batch_loss += std::abs(static_cast<double>(diff));
+          dpred = (diff > 0 ? 1.0f : (diff < 0 ? -1.0f : 0.0f)) /
+                  static_cast<float>(b);
+          break;
+      }
+      BackwardOne(dpred);
+    }
+    adam_->Step(Params());
+    epoch_loss += batch_loss / b;
+    ++batches;
+  }
+  return batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+}
+
+double NeuralQueryDrivenEstimator::EstimateCardinality(const query::Query& q) {
+  LCE_CHECK_MSG(built_, Name() << ": Build() before EstimateCardinality()");
+  float y = ForwardOne(q);
+  return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
+}
+
+Status NeuralQueryDrivenEstimator::UpdateWithQueries(
+    const std::vector<query::LabeledQuery>& queries) {
+  if (!built_) return Status::FailedPrecondition("Build() before update");
+  if (queries.empty()) return Status::OK();
+  std::vector<int> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < options_.update_epochs; ++epoch) {
+    last_epoch_loss_ = RunEpoch(queries, &order, &rng_);
+    epoch_losses_.push_back(last_epoch_loss_);
+  }
+  return Status::OK();
+}
+
+uint64_t NeuralQueryDrivenEstimator::SizeBytes() const {
+  return NumParams() * sizeof(float);
+}
+
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,106 @@
+// Shared training/inference plumbing of the six query-driven neural
+// estimators (Linear, FCN, FCN+Pool, MSCN, RNN, LSTM).
+//
+// The base class owns the encoder snapshot, label normalization, the Adam
+// loop (minibatch accumulation, fixed epochs, deterministic shuffling) and
+// incremental updates; subclasses provide the per-query forward/backward and
+// their parameter list. All models emit a sigmoid output interpreted as
+// normalized log-cardinality, following the standard query-driven recipe.
+
+#ifndef LCE_CE_QUERY_DRIVEN_NEURAL_BASE_H_
+#define LCE_CE_QUERY_DRIVEN_NEURAL_BASE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "src/ce/estimator.h"
+#include "src/nn/adam.h"
+#include "src/nn/loss.h"
+#include "src/query/encoder.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace ce {
+
+struct NeuralOptions {
+  int hidden_dim = 64;
+  int num_hidden_layers = 2;
+  int epochs = 30;
+  int batch_size = 64;
+  float learning_rate = 1e-3f;
+  nn::LossKind loss = nn::LossKind::kLogQ;
+  /// Epochs used by UpdateWithQueries (incremental training).
+  int update_epochs = 8;
+  uint64_t seed = 42;
+  /// Flat-encoding variant (FCN family only; the R12 ablation knob).
+  query::FlatVariant flat_variant = query::FlatVariant::kFull;
+  /// MSCN bitmap width.
+  int mscn_sample_size = 64;
+};
+
+class NeuralQueryDrivenEstimator : public Estimator {
+ public:
+  explicit NeuralQueryDrivenEstimator(NeuralOptions options)
+      : options_(options) {}
+
+  Status Build(const storage::Database& db,
+               const std::vector<query::LabeledQuery>& training) override;
+  double EstimateCardinality(const query::Query& q) override;
+  Status UpdateWithQueries(
+      const std::vector<query::LabeledQuery>& queries) override;
+  uint64_t SizeBytes() const override;
+
+  /// Initializes encoder and network against `db` without training — the
+  /// precondition for LoadModel on a fresh instance.
+  Status Prepare(const storage::Database& db);
+
+  /// Serializes the trained parameters (not the optimizer state).
+  Status SaveModel(std::ostream* os);
+
+  /// Restores parameters into a Prepare()d or Build()t model of identical
+  /// hyperparameters and schema; the estimator is usable afterwards.
+  Status LoadModel(std::istream* is);
+
+  /// Mean training loss of the last completed epoch (convergence reporting).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+  /// Per-epoch mean losses of the initial Build (the convergence curve R18
+  /// plots); incremental updates append to it.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+  const NeuralOptions& options() const { return options_; }
+
+ protected:
+  /// Builds the network(s); called once after the encoder exists.
+  virtual void InitModel(Rng* rng) = 0;
+  /// Forward pass for one query; must cache state for BackwardOne.
+  virtual float ForwardOne(const query::Query& q) = 0;
+  /// Backward from dL/d(output scalar) of the most recent ForwardOne.
+  virtual void BackwardOne(float dpred) = 0;
+  virtual std::vector<nn::Param*> Params() = 0;
+  // Const access for SizeBytes(); default delegates via const_cast-free
+  // duplication in subclasses would be noisy, so expose a count instead.
+  virtual size_t NumParams() const = 0;
+
+  const query::QueryEncoder& encoder() const { return *encoder_; }
+
+ private:
+  /// One pass over `queries` in minibatches; returns the mean loss.
+  double RunEpoch(const std::vector<query::LabeledQuery>& queries,
+                  std::vector<int>* order, Rng* rng);
+
+ protected:
+  NeuralOptions options_;
+
+ private:
+  std::unique_ptr<query::QueryEncoder> encoder_;
+  std::unique_ptr<nn::Adam> adam_;
+  Rng rng_{42};
+  double last_epoch_loss_ = 0;
+  std::vector<double> epoch_losses_;
+  bool built_ = false;
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_QUERY_DRIVEN_NEURAL_BASE_H_

@@ -1,0 +1,82 @@
+// Sequence estimators: RNN and LSTM over token sequences (Ortiz et al.).
+
+#ifndef LCE_CE_QUERY_DRIVEN_RECURRENT_MODELS_H_
+#define LCE_CE_QUERY_DRIVEN_RECURRENT_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/query_driven/neural_base.h"
+#include "src/nn/dense.h"
+#include "src/nn/recurrent.h"
+
+namespace lce {
+namespace ce {
+
+/// Common head: sequence -> recurrent encoder -> Dense(h, 1) -> sigmoid.
+template <typename Cell>
+class RecurrentEstimatorBase : public NeuralQueryDrivenEstimator {
+ public:
+  explicit RecurrentEstimatorBase(NeuralOptions options)
+      : NeuralQueryDrivenEstimator(options) {}
+
+ protected:
+  void InitModel(Rng* rng) override {
+    cell_ = std::make_unique<Cell>(encoder().seq_token_dim(),
+                                   options_.hidden_dim, rng);
+    head_ = std::make_unique<nn::Dense>(options_.hidden_dim, 1, rng);
+  }
+
+  float ForwardOne(const query::Query& q) override {
+    nn::Matrix seq = nn::Matrix::Stack(encoder().SequenceEncode(q));
+    nn::Matrix h = cell_->ForwardSequence(seq);
+    float pre = head_->Forward(h).Scalar();
+    output_ = 1.0f / (1.0f + std::exp(-pre));
+    return output_;
+  }
+
+  void BackwardOne(float dpred) override {
+    nn::Matrix g(1, 1);
+    g.At(0, 0) = dpred * output_ * (1.0f - output_);  // through the sigmoid
+    nn::Matrix dh = head_->Backward(g);
+    cell_->BackwardSequence(dh);
+  }
+
+  std::vector<nn::Param*> Params() override {
+    std::vector<nn::Param*> params = cell_->Params();
+    for (nn::Param* p : head_->Params()) params.push_back(p);
+    return params;
+  }
+
+  size_t NumParams() const override {
+    if (cell_ == nullptr) return 0;
+    return cell_->NumParams() +
+           static_cast<size_t>(head_->in_dim()) * head_->out_dim() +
+           head_->out_dim();
+  }
+
+ private:
+  std::unique_ptr<Cell> cell_;
+  std::unique_ptr<nn::Dense> head_;
+  float output_ = 0;
+};
+
+class RnnEstimator : public RecurrentEstimatorBase<nn::RnnCell> {
+ public:
+  explicit RnnEstimator(NeuralOptions options = {})
+      : RecurrentEstimatorBase(options) {}
+  std::string Name() const override { return "RNN"; }
+};
+
+class LstmEstimator : public RecurrentEstimatorBase<nn::LstmCell> {
+ public:
+  explicit LstmEstimator(NeuralOptions options = {})
+      : RecurrentEstimatorBase(options) {}
+  std::string Name() const override { return "LSTM"; }
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_QUERY_DRIVEN_RECURRENT_MODELS_H_

@@ -1,0 +1,103 @@
+#include "src/ce/query_driven/set_models.h"
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace ce {
+
+namespace {
+
+// Truncates every token to `dim` entries (drops MSCN bitmaps for FCN+Pool).
+std::vector<std::vector<float>> TruncateTokens(
+    const std::vector<std::vector<float>>& tokens, int dim) {
+  std::vector<std::vector<float>> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    out.emplace_back(t.begin(), t.begin() + dim);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SetBasedEstimator::InitModel(Rng* rng) {
+  int h = options_.hidden_dim;
+  int table_dim = use_sample_bitmap_
+                      ? encoder().mscn_table_dim()
+                      : static_cast<int>(encoder().schema().tables.size());
+  table_mlp_ = std::make_unique<nn::Mlp>(std::vector<int>{table_dim, h, h},
+                                         nn::Activation::kRelu,
+                                         nn::Activation::kRelu, rng);
+  join_mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{encoder().mscn_join_dim(), h, h},
+      nn::Activation::kRelu, nn::Activation::kRelu, rng);
+  pred_mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{encoder().mscn_pred_dim(), h, h},
+      nn::Activation::kRelu, nn::Activation::kRelu, rng);
+  head_ = std::make_unique<nn::Mlp>(std::vector<int>{3 * h, h, 1},
+                                    nn::Activation::kRelu,
+                                    nn::Activation::kSigmoid, rng);
+}
+
+nn::Matrix SetBasedEstimator::PoolSet(
+    nn::Mlp* mlp, const std::vector<std::vector<float>>& set, int* rows_out) {
+  nn::Matrix tokens = nn::Matrix::Stack(set);
+  *rows_out = tokens.rows();
+  return nn::ColMean(mlp->Forward(tokens));
+}
+
+float SetBasedEstimator::ForwardOne(const query::Query& q) {
+  query::MscnSets sets = encoder().MscnEncode(q);
+  std::vector<std::vector<float>> table_tokens =
+      use_sample_bitmap_
+          ? std::move(sets.tables)
+          : TruncateTokens(sets.tables,
+                           static_cast<int>(encoder().schema().tables.size()));
+  nn::Matrix pt = PoolSet(table_mlp_.get(), table_tokens, &table_rows_);
+  nn::Matrix pj = PoolSet(join_mlp_.get(), sets.joins, &join_rows_);
+  nn::Matrix pp = PoolSet(pred_mlp_.get(), sets.predicates, &pred_rows_);
+  nn::Matrix concat = nn::ConcatCols({&pt, &pj, &pp});
+  return head_->Forward(concat).Scalar();
+}
+
+void SetBasedEstimator::BackwardOne(float dpred) {
+  nn::Matrix g(1, 1);
+  g.At(0, 0) = dpred;
+  nn::Matrix dconcat = head_->Backward(g);
+  int h = options_.hidden_dim;
+  LCE_CHECK(dconcat.cols() == 3 * h);
+  auto backward_set = [&](nn::Mlp* mlp, int offset, int rows) {
+    // Mean pooling: every token row receives dpooled / rows.
+    nn::Matrix dtokens(rows, h);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < h; ++c) {
+        dtokens.At(r, c) = dconcat.At(0, offset + c) / static_cast<float>(rows);
+      }
+    }
+    mlp->Backward(dtokens);
+  };
+  backward_set(table_mlp_.get(), 0, table_rows_);
+  backward_set(join_mlp_.get(), h, join_rows_);
+  backward_set(pred_mlp_.get(), 2 * h, pred_rows_);
+}
+
+std::vector<nn::Param*> SetBasedEstimator::Params() {
+  std::vector<nn::Param*> params;
+  for (nn::Mlp* m : {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(),
+                     head_.get()}) {
+    for (nn::Param* p : m->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+size_t SetBasedEstimator::NumParams() const {
+  size_t n = 0;
+  for (const nn::Mlp* m : {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(),
+                           head_.get()}) {
+    if (m != nullptr) n += m->NumParams();
+  }
+  return n;
+}
+
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,66 @@
+// Set-based estimators: MSCN (Kipf et al.) and FCN+Pool.
+//
+// Both consume the {tables, joins, predicates} token sets: each set runs
+// through its own sub-MLP, tokens are mean-pooled per set, the pooled
+// vectors are concatenated, and a head MLP emits the sigmoid output. MSCN's
+// table tokens carry materialized-sample bitmaps; FCN+Pool's do not — that
+// is the architectural difference the study isolates.
+
+#ifndef LCE_CE_QUERY_DRIVEN_SET_MODELS_H_
+#define LCE_CE_QUERY_DRIVEN_SET_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/query_driven/neural_base.h"
+#include "src/nn/mlp.h"
+
+namespace lce {
+namespace ce {
+
+class SetBasedEstimator : public NeuralQueryDrivenEstimator {
+ public:
+  SetBasedEstimator(NeuralOptions options, bool use_sample_bitmap)
+      : NeuralQueryDrivenEstimator(options),
+        use_sample_bitmap_(use_sample_bitmap) {}
+
+ protected:
+  void InitModel(Rng* rng) override;
+  float ForwardOne(const query::Query& q) override;
+  void BackwardOne(float dpred) override;
+  std::vector<nn::Param*> Params() override;
+  size_t NumParams() const override;
+
+ private:
+  /// Runs one token set through its sub-MLP and mean-pools. Caches the row
+  /// count for the backward pass.
+  nn::Matrix PoolSet(nn::Mlp* mlp, const std::vector<std::vector<float>>& set,
+                     int* rows_out);
+
+  bool use_sample_bitmap_;
+  std::unique_ptr<nn::Mlp> table_mlp_;
+  std::unique_ptr<nn::Mlp> join_mlp_;
+  std::unique_ptr<nn::Mlp> pred_mlp_;
+  std::unique_ptr<nn::Mlp> head_;
+  int table_rows_ = 0, join_rows_ = 0, pred_rows_ = 0;
+};
+
+class MscnEstimator : public SetBasedEstimator {
+ public:
+  explicit MscnEstimator(NeuralOptions options = {})
+      : SetBasedEstimator(options, /*use_sample_bitmap=*/true) {}
+  std::string Name() const override { return "MSCN"; }
+};
+
+class FcnPoolEstimator : public SetBasedEstimator {
+ public:
+  explicit FcnPoolEstimator(NeuralOptions options = {})
+      : SetBasedEstimator(options, /*use_sample_bitmap=*/false) {}
+  std::string Name() const override { return "FCN+Pool"; }
+};
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_QUERY_DRIVEN_SET_MODELS_H_

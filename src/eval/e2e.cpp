@@ -1,0 +1,55 @@
+#include "src/eval/e2e.h"
+
+#include <algorithm>
+
+namespace lce {
+namespace eval {
+
+PlanQuality EvaluatePlanQuality(const storage::Database& db,
+                                const exec::Executor& executor,
+                                const opt::Planner& planner,
+                                ce::Estimator* estimator,
+                                const query::Query& q) {
+  opt::CardFn est_cards = [&](const std::vector<int>& tables) {
+    return estimator->EstimateCardinality(
+        query::Restrict(q, tables, db.schema()));
+  };
+  opt::CardFn true_cards = [&](const std::vector<int>& tables) {
+    return executor.SubsetCardinality(q, tables);
+  };
+
+  PlanQuality out;
+  opt::Plan est_plan = planner.BestPlan(q, est_cards);
+  opt::Plan opt_plan = planner.BestPlan(q, true_cards);
+  out.est_plan_true_cost = planner.CostWithCards(q, est_plan, true_cards);
+  out.opt_plan_true_cost = opt_plan.cost;  // already true-cost
+  out.p_error = out.opt_plan_true_cost > 0
+                    ? out.est_plan_true_cost / out.opt_plan_true_cost
+                    : 1.0;
+  out.p_error = std::max(1.0, out.p_error);
+  return out;
+}
+
+WorkloadPlanQuality EvaluateWorkloadPlanQuality(
+    const storage::Database& db, const exec::Executor& executor,
+    const opt::Planner& planner, ce::Estimator* estimator,
+    const std::vector<query::LabeledQuery>& workload) {
+  WorkloadPlanQuality agg;
+  double p_sum = 0;
+  size_t n = 0;
+  for (const auto& lq : workload) {
+    if (lq.q.tables.size() < 2) continue;  // join queries only
+    PlanQuality pq =
+        EvaluatePlanQuality(db, executor, planner, estimator, lq.q);
+    agg.total_est_cost += pq.est_plan_true_cost;
+    agg.total_opt_cost += pq.opt_plan_true_cost;
+    p_sum += pq.p_error;
+    agg.max_p_error = std::max(agg.max_p_error, pq.p_error);
+    ++n;
+  }
+  agg.mean_p_error = n > 0 ? p_sum / static_cast<double>(n) : 1.0;
+  return agg;
+}
+
+}  // namespace eval
+}  // namespace lce

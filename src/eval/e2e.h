@@ -1,0 +1,49 @@
+// End-to-end plan quality (experiment R9).
+//
+// For each query: plan once with the estimator's cardinalities, plan once
+// with true cardinalities, then score BOTH plans by their true cost. The
+// ratio (P-error, Yu et al.) isolates exactly the damage the estimator's
+// errors do to optimization, free of execution noise.
+
+#ifndef LCE_EVAL_E2E_H_
+#define LCE_EVAL_E2E_H_
+
+#include <vector>
+
+#include "src/ce/estimator.h"
+#include "src/exec/executor.h"
+#include "src/optimizer/planner.h"
+
+namespace lce {
+namespace eval {
+
+struct PlanQuality {
+  double est_plan_true_cost = 0;  // estimate-chosen plan, true-cost replay
+  double opt_plan_true_cost = 0;  // true-cardinality plan, true cost
+  double p_error = 1.0;           // est_plan_true_cost / opt_plan_true_cost
+};
+
+/// Plan quality of one query under `estimator`.
+PlanQuality EvaluatePlanQuality(const storage::Database& db,
+                                const exec::Executor& executor,
+                                const opt::Planner& planner,
+                                ce::Estimator* estimator,
+                                const query::Query& q);
+
+struct WorkloadPlanQuality {
+  double total_est_cost = 0;  // summed true cost of estimate-chosen plans
+  double total_opt_cost = 0;  // summed true cost of optimal plans
+  double mean_p_error = 0;
+  double max_p_error = 0;
+};
+
+/// Aggregates plan quality over a workload (the study's "E2E latency" rows).
+WorkloadPlanQuality EvaluateWorkloadPlanQuality(
+    const storage::Database& db, const exec::Executor& executor,
+    const opt::Planner& planner, ce::Estimator* estimator,
+    const std::vector<query::LabeledQuery>& workload);
+
+}  // namespace eval
+}  // namespace lce
+
+#endif  // LCE_EVAL_E2E_H_

@@ -1,0 +1,41 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/timer.h"
+
+namespace lce {
+namespace eval {
+
+double QError(double estimate, double truth) {
+  double e = std::max(1.0, estimate);
+  double t = std::max(1.0, truth);
+  return std::max(e / t, t / e);
+}
+
+AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
+                                const std::vector<query::LabeledQuery>& test) {
+  AccuracyReport report;
+  report.qerrors.reserve(test.size());
+  for (const auto& lq : test) {
+    double est = estimator->EstimateCardinality(lq.q);
+    report.qerrors.push_back(QError(est, lq.cardinality));
+  }
+  report.summary = Summarize(report.qerrors);
+  return report;
+}
+
+double MeanEstimateLatencyMicros(ce::Estimator* estimator,
+                                 const std::vector<query::LabeledQuery>& test,
+                                 size_t cap) {
+  size_t n = std::min(cap, test.size());
+  if (n == 0) return 0;
+  Timer timer;
+  for (size_t i = 0; i < n; ++i) {
+    estimator->EstimateCardinality(test[i].q);
+  }
+  return timer.ElapsedMicros() / static_cast<double>(n);
+}
+
+}  // namespace eval
+}  // namespace lce

@@ -1,0 +1,36 @@
+// Accuracy metrics and estimator evaluation.
+
+#ifndef LCE_EVAL_METRICS_H_
+#define LCE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "src/ce/estimator.h"
+#include "src/query/query.h"
+#include "src/util/stats.h"
+
+namespace lce {
+namespace eval {
+
+/// Q-error (Moerkotte et al.): max(est/true, true/est), both sides clamped at
+/// one tuple. Always >= 1.
+double QError(double estimate, double truth);
+
+struct AccuracyReport {
+  std::vector<double> qerrors;  // per test query
+  SampleSummary summary;        // of the q-errors
+};
+
+/// Estimates every test query and summarizes the q-errors.
+AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
+                                const std::vector<query::LabeledQuery>& test);
+
+/// Mean inference latency in microseconds over (at most `cap`) test queries.
+double MeanEstimateLatencyMicros(ce::Estimator* estimator,
+                                 const std::vector<query::LabeledQuery>& test,
+                                 size_t cap = 200);
+
+}  // namespace eval
+}  // namespace lce
+
+#endif  // LCE_EVAL_METRICS_H_

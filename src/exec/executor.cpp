@@ -1,0 +1,177 @@
+#include "src/exec/executor.h"
+
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace exec {
+
+std::vector<uint8_t> FilterBitmap(const storage::Database& db,
+                                  const query::Query& q, int table_index) {
+  const storage::Table& table = db.table(table_index);
+  std::vector<uint8_t> bitmap(table.num_rows(), 1);
+  for (const query::Predicate& p : q.predicates) {
+    if (p.col.table != table_index) continue;
+    const std::vector<storage::Value>& col = table.column(p.col.column);
+    for (uint64_t r = 0; r < col.size(); ++r) {
+      if (col[r] < p.lo || col[r] > p.hi) bitmap[r] = 0;
+    }
+  }
+  return bitmap;
+}
+
+uint64_t CountSet(const std::vector<uint8_t>& bitmap) {
+  uint64_t n = 0;
+  for (uint8_t b : bitmap) n += b;
+  return n;
+}
+
+namespace {
+
+// The column of `table` participating in join edge `e`.
+int EdgeColumn(const storage::DatabaseSchema& schema,
+               const storage::JoinEdge& e, int table) {
+  if (schema.TableIndex(e.left_table) == table) {
+    return schema.tables[table].ColumnIndex(e.left_column);
+  }
+  LCE_CHECK(schema.TableIndex(e.right_table) == table);
+  return schema.tables[table].ColumnIndex(e.right_column);
+}
+
+// Weighted-count message passing over the query's join tree restricted to
+// `tables` with join edges `edges` (which must span `tables`).
+double TreeCount(const storage::Database& db, const query::Query& q,
+                 const std::vector<int>& tables,
+                 const std::vector<int>& edges) {
+  const storage::DatabaseSchema& schema = db.schema();
+  if (tables.size() == 1) {
+    return static_cast<double>(CountSet(FilterBitmap(db, q, tables[0])));
+  }
+
+  // Adjacency over the induced tree.
+  std::unordered_map<int, std::vector<std::pair<int, int>>> adj;  // t -> (nbr, edge)
+  for (int e : edges) {
+    const storage::JoinEdge& je = schema.joins[e];
+    int lt = schema.TableIndex(je.left_table);
+    int rt = schema.TableIndex(je.right_table);
+    adj[lt].push_back({rt, e});
+    adj[rt].push_back({lt, e});
+  }
+
+  // Iterative post-order DFS from the first table.
+  int root = tables[0];
+  struct Frame {
+    int table;
+    int parent;
+    int parent_edge;  // -1 for root
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, -1, -1, 0});
+
+  // Messages: for a non-root table t with parent edge e, W[t] maps each join-
+  // key value of t's side of e to the weighted count of t's subtree.
+  std::unordered_map<int, std::unordered_map<storage::Value, double>> messages;
+  double result = 0;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& neighbors = adj[f.table];
+    if (f.next_child < neighbors.size()) {
+      auto [nbr, edge] = neighbors[f.next_child++];
+      if (nbr != f.parent) stack.push_back({nbr, f.table, edge, 0});
+      continue;
+    }
+
+    // All children processed: compute this table's message (or the result).
+    const storage::Table& table = db.table(f.table);
+    std::vector<uint8_t> bitmap = FilterBitmap(db, q, f.table);
+
+    // Child edges and their key columns in this table.
+    std::vector<std::pair<const std::unordered_map<storage::Value, double>*,
+                          const std::vector<storage::Value>*>>
+        child_inputs;
+    for (auto [nbr, edge] : neighbors) {
+      if (nbr == f.parent) continue;
+      int col = EdgeColumn(schema, schema.joins[edge], f.table);
+      LCE_CHECK(col >= 0);
+      child_inputs.push_back({&messages[nbr], &table.column(col)});
+    }
+
+    if (f.parent < 0) {
+      double total = 0;
+      for (uint64_t r = 0; r < table.num_rows(); ++r) {
+        if (!bitmap[r]) continue;
+        double w = 1;
+        for (auto& [msg, col] : child_inputs) {
+          auto it = msg->find((*col)[r]);
+          if (it == msg->end()) {
+            w = 0;
+            break;
+          }
+          w *= it->second;
+        }
+        total += w;
+      }
+      result = total;
+    } else {
+      int pcol = EdgeColumn(schema, schema.joins[f.parent_edge], f.table);
+      LCE_CHECK(pcol >= 0);
+      const std::vector<storage::Value>& parent_keys = table.column(pcol);
+      std::unordered_map<storage::Value, double>& out = messages[f.table];
+      for (uint64_t r = 0; r < table.num_rows(); ++r) {
+        if (!bitmap[r]) continue;
+        double w = 1;
+        for (auto& [msg, col] : child_inputs) {
+          auto it = msg->find((*col)[r]);
+          if (it == msg->end()) {
+            w = 0;
+            break;
+          }
+          w *= it->second;
+        }
+        if (w > 0) out[parent_keys[r]] += w;
+      }
+    }
+    // Free child messages no longer needed.
+    for (auto [nbr, edge] : neighbors) {
+      (void)edge;
+      if (nbr != f.parent) messages.erase(nbr);
+    }
+    stack.pop_back();
+  }
+  return result;
+}
+
+}  // namespace
+
+double Executor::Cardinality(const query::Query& q) const {
+  return TreeCount(*db_, q, q.tables, q.join_edges);
+}
+
+double Executor::SubsetCardinality(const query::Query& q,
+                                   const std::vector<int>& tables) const {
+  // Induced edges: those of q with both endpoints inside `tables`.
+  const storage::DatabaseSchema& schema = db_->schema();
+  std::vector<int> edges;
+  auto in_subset = [&](int t) {
+    for (int x : tables) {
+      if (x == t) return true;
+    }
+    return false;
+  };
+  for (int e : q.join_edges) {
+    const storage::JoinEdge& je = schema.joins[e];
+    if (in_subset(schema.TableIndex(je.left_table)) &&
+        in_subset(schema.TableIndex(je.right_table))) {
+      edges.push_back(e);
+    }
+  }
+  LCE_CHECK_MSG(edges.size() == tables.size() - 1,
+                "SubsetCardinality requires a connected subset of the query");
+  return TreeCount(*db_, q, tables, edges);
+}
+
+}  // namespace exec
+}  // namespace lce

@@ -1,0 +1,53 @@
+// Exact query execution for ground truth.
+//
+// Cardinalities of acyclic equi-join queries are computed without
+// materializing intermediate results: each query's join edges form a spanning
+// tree, so a bottom-up weighted count (message passing over join keys) yields
+// the exact COUNT(*) in O(rows) per table. This is the oracle every estimator
+// is scored against, and the engine behind the optimizer's true-cost replay.
+
+#ifndef LCE_EXEC_EXECUTOR_H_
+#define LCE_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/storage/database.h"
+
+namespace lce {
+namespace exec {
+
+/// Bitmap (1 byte per row) of rows in `table_index` satisfying the query's
+/// predicates on that table. Rows of tables without predicates are all 1.
+std::vector<uint8_t> FilterBitmap(const storage::Database& db,
+                                  const query::Query& q, int table_index);
+
+/// Number of set bits.
+uint64_t CountSet(const std::vector<uint8_t>& bitmap);
+
+class Executor {
+ public:
+  /// `db` must outlive the executor.
+  explicit Executor(const storage::Database* db) : db_(db) {}
+
+  /// Exact COUNT(*) of the query. Returned as double: exact for counts below
+  /// 2^53, which covers every configuration in the study.
+  double Cardinality(const query::Query& q) const;
+
+  /// Exact COUNT(*) restricted to a connected subset of the query's tables
+  /// (with the query's predicates and the induced join edges). Used by the
+  /// optimizer to cost intermediate results under true cardinalities.
+  double SubsetCardinality(const query::Query& q,
+                           const std::vector<int>& tables) const;
+
+  const storage::Database& db() const { return *db_; }
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace exec
+}  // namespace lce
+
+#endif  // LCE_EXEC_EXECUTOR_H_

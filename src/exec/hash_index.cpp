@@ -1,0 +1,28 @@
+#include "src/exec/hash_index.h"
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace exec {
+
+void HashIndex::Build(const storage::Table& table, int column) {
+  LCE_CHECK(column >= 0 && column < table.num_columns());
+  buckets_.clear();
+  const std::vector<storage::Value>& col = table.column(column);
+  buckets_.reserve(table.stats(column).distinct);
+  for (uint64_t r = 0; r < col.size(); ++r) {
+    buckets_[col[r]].push_back(static_cast<uint32_t>(r));
+  }
+  built_ = true;
+}
+
+uint64_t HashIndex::SizeBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [key, rows] : buckets_) {
+    bytes += sizeof(key) + rows.size() * sizeof(uint32_t) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace exec
+}  // namespace lce

@@ -1,0 +1,38 @@
+// Hash index: join-key value -> row ids. The substrate behind the Wander
+// Join estimator's random walks (and usable by any index-assisted operator).
+
+#ifndef LCE_EXEC_HASH_INDEX_H_
+#define LCE_EXEC_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/table.h"
+
+namespace lce {
+namespace exec {
+
+class HashIndex {
+ public:
+  /// Indexes `column` of `table`.
+  void Build(const storage::Table& table, int column);
+
+  /// Row ids holding `key`; nullptr when the key is absent.
+  const std::vector<uint32_t>* Lookup(storage::Value key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  uint64_t SizeBytes() const;
+  bool built() const { return built_; }
+
+ private:
+  std::unordered_map<storage::Value, std::vector<uint32_t>> buckets_;
+  bool built_ = false;
+};
+
+}  // namespace exec
+}  // namespace lce
+
+#endif  // LCE_EXEC_HASH_INDEX_H_

@@ -1,0 +1,176 @@
+#include "src/exec/plan_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/exec/executor.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace exec {
+
+namespace {
+
+// Join edges of `q` with one endpoint in `left` and the other in `right`.
+struct ConnectingEdge {
+  int left_table;
+  int left_column;
+  int right_table;
+  int right_column;
+};
+
+std::vector<ConnectingEdge> ConnectingEdges(
+    const query::Query& q, const storage::DatabaseSchema& schema,
+    const std::vector<int>& left, const std::vector<int>& right) {
+  auto contains = [](const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  std::vector<ConnectingEdge> out;
+  for (int e : q.join_edges) {
+    const storage::JoinEdge& je = schema.joins[e];
+    int lt = schema.TableIndex(je.left_table);
+    int rt = schema.TableIndex(je.right_table);
+    int lc = schema.tables[lt].ColumnIndex(je.left_column);
+    int rc = schema.tables[rt].ColumnIndex(je.right_column);
+    if (contains(left, lt) && contains(right, rt)) {
+      out.push_back({lt, lc, rt, rc});
+    } else if (contains(left, rt) && contains(right, lt)) {
+      out.push_back({rt, rc, lt, lc});
+    }
+  }
+  return out;
+}
+
+int IndexOfTable(const std::vector<int>& tables, int table) {
+  auto it = std::find(tables.begin(), tables.end(), table);
+  LCE_CHECK(it != tables.end());
+  return static_cast<int>(it - tables.begin());
+}
+
+}  // namespace
+
+Result<PlanExecutor::Intermediate> PlanExecutor::ExecuteNode(
+    const query::Query& q, const opt::Plan& plan, int node,
+    ExecStats* stats) const {
+  const opt::PlanNode& n = plan.nodes[node];
+  if (n.IsLeaf()) {
+    Intermediate out;
+    out.tables = {n.table};
+    out.rows.resize(1);
+    std::vector<uint8_t> bitmap = FilterBitmap(*db_, q, n.table);
+    stats->tuples_scanned += bitmap.size();
+    for (uint64_t r = 0; r < bitmap.size(); ++r) {
+      if (bitmap[r]) out.rows[0].push_back(static_cast<uint32_t>(r));
+    }
+    stats->peak_intermediate = std::max(stats->peak_intermediate, out.size());
+    return out;
+  }
+
+  Result<Intermediate> left_result = ExecuteNode(q, plan, n.left, stats);
+  if (!left_result.ok()) return left_result.status();
+  Result<Intermediate> right_result = ExecuteNode(q, plan, n.right, stats);
+  if (!right_result.ok()) return right_result.status();
+  Intermediate left = std::move(left_result).value();
+  Intermediate right = std::move(right_result).value();
+
+  std::vector<ConnectingEdge> edges =
+      ConnectingEdges(q, db_->schema(), left.tables, right.tables);
+  LCE_CHECK_MSG(!edges.empty(), "plan joins disconnected subplans");
+
+  // Hash join: build on the smaller input using the first connecting edge;
+  // any further connecting edges become post-join filters.
+  bool build_left = left.size() <= right.size();
+  Intermediate& build = build_left ? left : right;
+  Intermediate& probe = build_left ? right : left;
+  // Orient the edges build-side-first.
+  std::vector<ConnectingEdge> oriented;
+  for (const ConnectingEdge& e : edges) {
+    if (build_left) {
+      oriented.push_back(e);
+    } else {
+      oriented.push_back({e.right_table, e.right_column, e.left_table,
+                          e.left_column});
+    }
+  }
+  const ConnectingEdge& key_edge = oriented[0];
+
+  int build_pos = IndexOfTable(build.tables, key_edge.left_table);
+  const std::vector<storage::Value>& build_keys =
+      db_->table(key_edge.left_table).column(key_edge.left_column);
+  std::unordered_map<storage::Value, std::vector<uint64_t>> hash_table;
+  hash_table.reserve(build.size());
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    hash_table[build_keys[build.rows[build_pos][i]]].push_back(i);
+  }
+  stats->tuples_built += build.size();
+
+  Intermediate out;
+  out.tables = build.tables;
+  out.tables.insert(out.tables.end(), probe.tables.begin(),
+                    probe.tables.end());
+  out.rows.resize(out.tables.size());
+
+  int probe_pos = IndexOfTable(probe.tables, key_edge.right_table);
+  const std::vector<storage::Value>& probe_keys =
+      db_->table(key_edge.right_table).column(key_edge.right_column);
+
+  // Extra-edge filters: (build tuple, probe tuple) must also match here.
+  struct ExtraFilter {
+    int build_pos;
+    const std::vector<storage::Value>* build_col;
+    int probe_pos;
+    const std::vector<storage::Value>* probe_col;
+  };
+  std::vector<ExtraFilter> extra;
+  for (size_t e = 1; e < oriented.size(); ++e) {
+    extra.push_back(
+        {IndexOfTable(build.tables, oriented[e].left_table),
+         &db_->table(oriented[e].left_table).column(oriented[e].left_column),
+         IndexOfTable(probe.tables, oriented[e].right_table),
+         &db_->table(oriented[e].right_table).column(oriented[e].right_column)});
+  }
+
+  for (uint64_t j = 0; j < probe.size(); ++j) {
+    ++stats->tuples_probed;
+    auto it = hash_table.find(probe_keys[probe.rows[probe_pos][j]]);
+    if (it == hash_table.end()) continue;
+    for (uint64_t i : it->second) {
+      bool pass = true;
+      for (const ExtraFilter& f : extra) {
+        if ((*f.build_col)[build.rows[f.build_pos][i]] !=
+            (*f.probe_col)[probe.rows[f.probe_pos][j]]) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      for (size_t c = 0; c < build.tables.size(); ++c) {
+        out.rows[c].push_back(build.rows[c][i]);
+      }
+      for (size_t c = 0; c < probe.tables.size(); ++c) {
+        out.rows[build.tables.size() + c].push_back(probe.rows[c][j]);
+      }
+      if (out.size() > options_.max_intermediate_tuples) {
+        return Status::Internal(
+            "intermediate result exceeded the execution budget (" +
+            std::to_string(options_.max_intermediate_tuples) + " tuples)");
+      }
+    }
+  }
+  stats->tuples_output += out.size();
+  stats->peak_intermediate = std::max(stats->peak_intermediate, out.size());
+  return out;
+}
+
+Result<ExecStats> PlanExecutor::Execute(const query::Query& q,
+                                        const opt::Plan& plan) const {
+  LCE_CHECK_MSG(plan.root >= 0, "empty plan");
+  ExecStats stats;
+  Result<Intermediate> root = ExecuteNode(q, plan, plan.root, &stats);
+  if (!root.ok()) return root.status();
+  stats.result = static_cast<double>(root.value().size());
+  return stats;
+}
+
+}  // namespace exec
+}  // namespace lce

@@ -1,0 +1,81 @@
+#include "src/gbdt/gbdt.h"
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace gbdt {
+
+void GradientBoosting::Fit(const std::vector<std::vector<float>>& rows,
+                           const std::vector<float>& targets) {
+  LCE_CHECK(!rows.empty() && rows.size() == targets.size());
+  trees_.clear();
+  binner_.Fit(rows, options_.max_bins);
+  double sum = 0;
+  for (float t : targets) sum += t;
+  base_score_ = static_cast<float>(sum / static_cast<double>(targets.size()));
+  fitted_ = true;
+
+  std::vector<std::vector<uint8_t>> binned;
+  binned.reserve(rows.size());
+  for (const auto& row : rows) binned.push_back(binner_.Transform(row));
+  AddTrees(binned, targets, options_.num_trees);
+}
+
+void GradientBoosting::Boost(const std::vector<std::vector<float>>& rows,
+                             const std::vector<float>& targets,
+                             int num_trees) {
+  LCE_CHECK_MSG(fitted_, "Fit() before Boost()");
+  LCE_CHECK(!rows.empty() && rows.size() == targets.size());
+  std::vector<std::vector<uint8_t>> binned;
+  binned.reserve(rows.size());
+  for (const auto& row : rows) binned.push_back(binner_.Transform(row));
+  AddTrees(binned, targets, num_trees);
+}
+
+void GradientBoosting::AddTrees(
+    const std::vector<std::vector<uint8_t>>& binned,
+    const std::vector<float>& targets, int num_trees) {
+  // Current predictions for the (possibly new) data under the ensemble.
+  std::vector<float> pred(binned.size(), base_score_);
+  for (const RegressionTree& tree : trees_) {
+    for (size_t i = 0; i < binned.size(); ++i) {
+      pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+    }
+  }
+  std::vector<float> residual(binned.size());
+  for (int t = 0; t < num_trees; ++t) {
+    for (size_t i = 0; i < binned.size(); ++i) {
+      residual[i] = targets[i] - pred[i];
+    }
+    RegressionTree tree;
+    tree.Fit(binned, residual, options_.tree, options_.max_bins);
+    for (size_t i = 0; i < binned.size(); ++i) {
+      pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float GradientBoosting::Predict(const std::vector<float>& row) const {
+  LCE_CHECK_MSG(fitted_, "Fit() before Predict()");
+  std::vector<uint8_t> binned = binner_.Transform(row);
+  float out = base_score_;
+  for (const RegressionTree& tree : trees_) {
+    out += options_.learning_rate * tree.Predict(binned);
+  }
+  return out;
+}
+
+uint64_t GradientBoosting::SizeBytes() const {
+  uint64_t bytes = 0;
+  for (const RegressionTree& tree : trees_) {
+    bytes += tree.num_nodes() * sizeof(TreeNode);
+  }
+  // Binner edges.
+  bytes += static_cast<uint64_t>(binner_.num_features()) *
+           binner_.max_bins() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace gbdt
+}  // namespace lce

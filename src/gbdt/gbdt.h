@@ -1,0 +1,54 @@
+// Gradient boosting with squared loss over binned regression trees.
+
+#ifndef LCE_GBDT_GBDT_H_
+#define LCE_GBDT_GBDT_H_
+
+#include <vector>
+
+#include "src/gbdt/tree.h"
+
+namespace lce {
+namespace gbdt {
+
+class GradientBoosting {
+ public:
+  struct Options {
+    int num_trees = 96;
+    float learning_rate = 0.15f;
+    int max_bins = 32;
+    RegressionTree::Options tree;
+  };
+
+  GradientBoosting() : GradientBoosting(Options{}) {}
+  explicit GradientBoosting(Options options) : options_(options) {}
+
+  /// Fits from scratch: bins features, then adds trees on residuals.
+  void Fit(const std::vector<std::vector<float>>& rows,
+           const std::vector<float>& targets);
+
+  /// Adds `num_trees` boosting rounds fit on new data's residuals, keeping
+  /// the existing ensemble and binner — the incremental-update path.
+  void Boost(const std::vector<std::vector<float>>& rows,
+             const std::vector<float>& targets, int num_trees);
+
+  float Predict(const std::vector<float>& row) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  uint64_t SizeBytes() const;
+  bool fitted() const { return fitted_; }
+
+ private:
+  void AddTrees(const std::vector<std::vector<uint8_t>>& binned,
+                const std::vector<float>& targets, int num_trees);
+
+  Options options_;
+  FeatureBinner binner_;
+  float base_score_ = 0;
+  std::vector<RegressionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace gbdt
+}  // namespace lce
+
+#endif  // LCE_GBDT_GBDT_H_

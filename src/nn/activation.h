@@ -1,0 +1,64 @@
+// Element-wise activations with output-cached backward helpers.
+
+#ifndef LCE_NN_ACTIVATION_H_
+#define LCE_NN_ACTIVATION_H_
+
+#include <cmath>
+
+#include "src/nn/matrix.h"
+
+namespace lce {
+namespace nn {
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+/// Applies the activation in place and returns the result (the "output"),
+/// which the matching backward uses.
+inline Matrix ApplyActivation(Activation act, Matrix x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      for (auto& v : x.data()) v = v > 0 ? v : 0.0f;
+      return x;
+    case Activation::kSigmoid:
+      for (auto& v : x.data()) v = 1.0f / (1.0f + std::exp(-v));
+      return x;
+    case Activation::kTanh:
+      for (auto& v : x.data()) v = std::tanh(v);
+      return x;
+  }
+  return x;
+}
+
+/// Given dL/d(output) and the cached output, returns dL/d(pre-activation).
+inline Matrix ActivationBackward(Activation act, const Matrix& output,
+                                 Matrix dout) {
+  switch (act) {
+    case Activation::kIdentity:
+      return dout;
+    case Activation::kRelu:
+      for (size_t i = 0; i < dout.size(); ++i) {
+        if (output.data()[i] <= 0) dout.data()[i] = 0;
+      }
+      return dout;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < dout.size(); ++i) {
+        float o = output.data()[i];
+        dout.data()[i] *= o * (1.0f - o);
+      }
+      return dout;
+    case Activation::kTanh:
+      for (size_t i = 0; i < dout.size(); ++i) {
+        float o = output.data()[i];
+        dout.data()[i] *= 1.0f - o * o;
+      }
+      return dout;
+  }
+  return dout;
+}
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_ACTIVATION_H_

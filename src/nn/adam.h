@@ -1,0 +1,52 @@
+// Adam optimizer (Kingma & Ba, 2014) over a set of Params.
+
+#ifndef LCE_NN_ADAM_H_
+#define LCE_NN_ADAM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/nn/param.h"
+
+namespace lce {
+namespace nn {
+
+class Adam {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  /// One update step; consumes accumulated gradients and zeroes them.
+  void Step(const std::vector<Param*>& params) {
+    ++t_;
+    float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (Param* p : params) {
+      auto& value = p->value.data();
+      auto& grad = p->grad.data();
+      auto& m = p->m.data();
+      auto& v = p->v.data();
+      for (size_t i = 0; i < value.size(); ++i) {
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
+        float mhat = m[i] / bc1;
+        float vhat = v[i] / bc2;
+        value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        grad[i] = 0.0f;
+      }
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_ADAM_H_

@@ -1,0 +1,57 @@
+// Fully-connected layer with cached-input backward pass.
+
+#ifndef LCE_NN_DENSE_H_
+#define LCE_NN_DENSE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/nn/param.h"
+
+namespace lce {
+namespace nn {
+
+/// y = x * W + b, operating on a batch matrix (rows = examples).
+///
+/// Forward caches its input; Backward must be called with the gradient of the
+/// most recent Forward. Parameter gradients accumulate until ZeroGrad().
+class Dense {
+ public:
+  Dense(int in_dim, int out_dim, Rng* rng)
+      : weight_(Matrix::Randn(in_dim, out_dim,
+                              std::sqrt(2.0f / static_cast<float>(in_dim)),
+                              rng)),
+        bias_(Matrix::Zeros(1, out_dim)) {}
+
+  Matrix Forward(const Matrix& x) {
+    input_ = x;
+    Matrix y = MatMul(x, weight_.value);
+    AddBiasRow(&y, bias_.value);
+    return y;
+  }
+
+  /// Returns dL/dx; accumulates dL/dW and dL/db.
+  Matrix Backward(const Matrix& dy) {
+    weight_.grad.Add(MatMulTransA(input_, dy));
+    for (int r = 0; r < dy.rows(); ++r) {
+      const float* row = dy.RowPtr(r);
+      for (int c = 0; c < dy.cols(); ++c) bias_.grad.At(0, c) += row[c];
+    }
+    return MatMulTransB(dy, weight_.value);
+  }
+
+  std::vector<Param*> Params() { return {&weight_, &bias_}; }
+
+  int in_dim() const { return weight_.value.rows(); }
+  int out_dim() const { return weight_.value.cols(); }
+
+ private:
+  Param weight_;
+  Param bias_;
+  Matrix input_;
+};
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_DENSE_H_

@@ -1,0 +1,39 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace nn {
+
+LossResult ComputeLoss(LossKind kind, const Matrix& pred,
+                       const std::vector<float>& targets) {
+  LCE_CHECK(pred.cols() == 1);
+  LCE_CHECK(static_cast<size_t>(pred.rows()) == targets.size());
+  int n = pred.rows();
+  LCE_CHECK(n > 0);
+  LossResult out;
+  out.grad = Matrix(n, 1);
+  double total = 0;
+  float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    float diff = pred.At(i, 0) - targets[i];
+    switch (kind) {
+      case LossKind::kMse:
+        total += static_cast<double>(diff) * diff;
+        out.grad.At(i, 0) = 2.0f * diff * inv_n;
+        break;
+      case LossKind::kLogQ:
+        total += std::abs(static_cast<double>(diff));
+        // Subgradient 0 at the kink.
+        out.grad.At(i, 0) = (diff > 0 ? 1.0f : (diff < 0 ? -1.0f : 0.0f)) * inv_n;
+        break;
+    }
+  }
+  out.loss = total / n;
+  return out;
+}
+
+}  // namespace nn
+}  // namespace lce

@@ -1,0 +1,34 @@
+// Regression losses on log-cardinality targets.
+//
+// All models in the study regress y = log(card). Two losses are compared in
+// the loss-ablation experiment (R11):
+//   * MSE on log targets: (ŷ - y)^2 — the generic regression choice.
+//   * Log-Q loss: |ŷ - y| = log(q-error) — directly optimizes the study's
+//     accuracy metric, since q-error = exp(|ŷ - y|) in log space.
+
+#ifndef LCE_NN_LOSS_H_
+#define LCE_NN_LOSS_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace lce {
+namespace nn {
+
+enum class LossKind { kMse, kLogQ };
+
+/// Mean loss over a batch and the gradient dL/dpred (same shape as pred,
+/// which must be B x 1). `targets` holds the B log-cardinality labels.
+struct LossResult {
+  double loss = 0;
+  Matrix grad;
+};
+
+LossResult ComputeLoss(LossKind kind, const Matrix& pred,
+                       const std::vector<float>& targets);
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_LOSS_H_

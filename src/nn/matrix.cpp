@@ -1,0 +1,116 @@
+#include "src/nn/matrix.h"
+
+namespace lce {
+namespace nn {
+
+Matrix Matrix::Stack(const std::vector<std::vector<float>>& rows) {
+  LCE_CHECK(!rows.empty());
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    LCE_CHECK_MSG(rows[r].size() == rows[0].size(), "ragged Stack input");
+    std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(static_cast<int>(r)));
+  }
+  return m;
+}
+
+void Matrix::Add(const Matrix& other) {
+  LCE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  LCE_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch: " << a.rows()
+                << "x" << a.cols() << " * " << b.rows() << "x" << b.cols());
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  LCE_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.RowPtr(k);
+    const float* brow = b.RowPtr(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.RowPtr(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  LCE_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.RowPtr(j);
+      float dot = 0;
+      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+void AddBiasRow(Matrix* x, const Matrix& bias) {
+  LCE_CHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  for (int r = 0; r < x->rows(); ++r) {
+    float* row = x->RowPtr(r);
+    const float* b = bias.RowPtr(0);
+    for (int c = 0; c < x->cols(); ++c) row[c] += b[c];
+  }
+}
+
+Matrix ColMean(const Matrix& x) {
+  LCE_CHECK(x.rows() > 0);
+  Matrix m(1, x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* row = x.RowPtr(r);
+    for (int c = 0; c < x.cols(); ++c) m.At(0, c) += row[c];
+  }
+  m.Scale(1.0f / static_cast<float>(x.rows()));
+  return m;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  LCE_CHECK(!parts.empty());
+  int rows = parts[0]->rows();
+  int cols = 0;
+  for (const Matrix* p : parts) {
+    LCE_CHECK(p->rows() == rows);
+    cols += p->cols();
+  }
+  Matrix out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    float* orow = out.RowPtr(r);
+    int offset = 0;
+    for (const Matrix* p : parts) {
+      const float* prow = p->RowPtr(r);
+      std::copy(prow, prow + p->cols(), orow + offset);
+      offset += p->cols();
+    }
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace lce

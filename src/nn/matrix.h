@@ -1,0 +1,109 @@
+// Dense row-major float matrix: the tensor type of the NN substrate.
+//
+// Shapes in this library are small (feature widths of tens to hundreds), so a
+// straightforward cache-friendly triple loop is both simple and fast enough
+// for every model in the study.
+
+#ifndef LCE_NN_MATRIX_H_
+#define LCE_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace nn {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    LCE_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0f); }
+
+  /// He-style Gaussian init scaled by 1/sqrt(fan_in).
+  static Matrix Randn(int rows, int cols, float scale, Rng* rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) v = static_cast<float>(rng->Gaussian()) * scale;
+    return m;
+  }
+
+  /// Builds a 1 x n row from a float vector.
+  static Matrix Row(const std::vector<float>& values) {
+    Matrix m(1, static_cast<int>(values.size()));
+    m.data_ = values;
+    return m;
+  }
+
+  /// Stacks equal-width rows into an n x w matrix.
+  static Matrix Stack(const std::vector<std::vector<float>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* RowPtr(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// In-place element-wise operations.
+  void Add(const Matrix& other);
+  void Scale(float s);
+
+  /// Returns the single element of a 1x1 matrix.
+  float Scalar() const {
+    LCE_CHECK(rows_ == 1 && cols_ == 1);
+    return data_[0];
+  }
+
+  /// One row as a copy.
+  std::vector<float> RowVector(int r) const {
+    return std::vector<float>(RowPtr(r), RowPtr(r) + cols_);
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// y = x + broadcast(bias row) for every row of x (in place).
+void AddBiasRow(Matrix* x, const Matrix& bias);
+
+/// Column-wise mean: 1 x cols.
+Matrix ColMean(const Matrix& x);
+
+/// Concatenates matrices with equal row counts along columns.
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_MATRIX_H_

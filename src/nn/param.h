@@ -1,0 +1,31 @@
+// Trainable parameter: value, accumulated gradient, and Adam moments.
+
+#ifndef LCE_NN_PARAM_H_
+#define LCE_NN_PARAM_H_
+
+#include "src/nn/matrix.h"
+
+namespace lce {
+namespace nn {
+
+struct Param {
+  Matrix value;
+  Matrix grad;
+  Matrix m;  // Adam first moment
+  Matrix v;  // Adam second moment
+
+  explicit Param(Matrix initial)
+      : value(std::move(initial)),
+        grad(value.rows(), value.cols()),
+        m(value.rows(), value.cols()),
+        v(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+
+  size_t NumElements() const { return value.size(); }
+};
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_PARAM_H_

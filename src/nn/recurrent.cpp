@@ -1,0 +1,150 @@
+#include "src/nn/recurrent.h"
+
+#include <cmath>
+
+#include "src/nn/activation.h"
+
+namespace lce {
+namespace nn {
+
+RnnCell::RnnCell(int in_dim, int hidden_dim, Rng* rng)
+    : wx_(Matrix::Randn(in_dim, hidden_dim,
+                        std::sqrt(1.0f / static_cast<float>(in_dim)), rng)),
+      wh_(Matrix::Randn(hidden_dim, hidden_dim,
+                        std::sqrt(1.0f / static_cast<float>(hidden_dim)), rng)),
+      b_(Matrix::Zeros(1, hidden_dim)) {}
+
+Matrix RnnCell::ForwardSequence(const Matrix& seq) {
+  LCE_CHECK(seq.rows() >= 1);
+  seq_ = seq;
+  hs_.clear();
+  Matrix h = Matrix::Zeros(1, hidden_dim());
+  for (int t = 0; t < seq.rows(); ++t) {
+    Matrix x = Matrix::Row(seq.RowVector(t));
+    Matrix pre = MatMul(x, wx_.value);
+    pre.Add(MatMul(h, wh_.value));
+    AddBiasRow(&pre, b_.value);
+    h = ApplyActivation(Activation::kTanh, std::move(pre));
+    hs_.push_back(h);
+  }
+  return h;
+}
+
+void RnnCell::BackwardSequence(const Matrix& dh_final) {
+  LCE_CHECK_MSG(!hs_.empty(), "BackwardSequence without ForwardSequence");
+  Matrix dh = dh_final;
+  for (int t = static_cast<int>(hs_.size()) - 1; t >= 0; --t) {
+    // Through tanh.
+    Matrix dpre = ActivationBackward(Activation::kTanh, hs_[t], std::move(dh));
+    Matrix x = Matrix::Row(seq_.RowVector(t));
+    wx_.grad.Add(MatMulTransA(x, dpre));
+    Matrix h_prev =
+        t > 0 ? hs_[t - 1] : Matrix::Zeros(1, hidden_dim());
+    wh_.grad.Add(MatMulTransA(h_prev, dpre));
+    b_.grad.Add(dpre);
+    dh = MatMulTransB(dpre, wh_.value);
+  }
+}
+
+LstmCell::LstmCell(int in_dim, int hidden_dim, Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      w_(Matrix::Randn(in_dim + hidden_dim, 4 * hidden_dim,
+                       std::sqrt(1.0f / static_cast<float>(in_dim + hidden_dim)),
+                       rng)),
+      b_(Matrix::Zeros(1, 4 * hidden_dim)) {
+  // Forget-gate bias starts positive: standard trick for gradient flow.
+  for (int j = hidden_dim_; j < 2 * hidden_dim_; ++j) b_.value.At(0, j) = 1.0f;
+}
+
+Matrix LstmCell::ForwardSequence(const Matrix& seq) {
+  LCE_CHECK(seq.rows() >= 1);
+  LCE_CHECK(seq.cols() == in_dim_);
+  cache_.clear();
+  c_prev_.clear();
+  Matrix h = Matrix::Zeros(1, hidden_dim_);
+  Matrix c = Matrix::Zeros(1, hidden_dim_);
+  for (int t = 0; t < seq.rows(); ++t) {
+    StepCache step;
+    c_prev_.push_back(c);
+    // z = [x_t, h_{t-1}]
+    step.z = Matrix(1, in_dim_ + hidden_dim_);
+    for (int j = 0; j < in_dim_; ++j) step.z.At(0, j) = seq.At(t, j);
+    for (int j = 0; j < hidden_dim_; ++j) {
+      step.z.At(0, in_dim_ + j) = h.At(0, j);
+    }
+    Matrix pre = MatMul(step.z, w_.value);
+    AddBiasRow(&pre, b_.value);
+    step.gates = Matrix(1, 4 * hidden_dim_);
+    for (int j = 0; j < 4 * hidden_dim_; ++j) {
+      float v = pre.At(0, j);
+      // i, f, o gates: sigmoid; g (cell candidate): tanh.
+      bool is_g = j >= 2 * hidden_dim_ && j < 3 * hidden_dim_;
+      step.gates.At(0, j) =
+          is_g ? std::tanh(v) : 1.0f / (1.0f + std::exp(-v));
+    }
+    step.c = Matrix(1, hidden_dim_);
+    step.tanh_c = Matrix(1, hidden_dim_);
+    Matrix h_next(1, hidden_dim_);
+    for (int j = 0; j < hidden_dim_; ++j) {
+      float i = step.gates.At(0, j);
+      float f = step.gates.At(0, hidden_dim_ + j);
+      float g = step.gates.At(0, 2 * hidden_dim_ + j);
+      float o = step.gates.At(0, 3 * hidden_dim_ + j);
+      float cv = f * c.At(0, j) + i * g;
+      step.c.At(0, j) = cv;
+      float tc = std::tanh(cv);
+      step.tanh_c.At(0, j) = tc;
+      h_next.At(0, j) = o * tc;
+    }
+    c = step.c;
+    h = h_next;
+    cache_.push_back(std::move(step));
+  }
+  return h;
+}
+
+void LstmCell::BackwardSequence(const Matrix& dh_final) {
+  LCE_CHECK_MSG(!cache_.empty(), "BackwardSequence without ForwardSequence");
+  Matrix dh = dh_final;
+  Matrix dc = Matrix::Zeros(1, hidden_dim_);
+  for (int t = static_cast<int>(cache_.size()) - 1; t >= 0; --t) {
+    const StepCache& step = cache_[t];
+    Matrix dgates(1, 4 * hidden_dim_);
+    Matrix dc_prev(1, hidden_dim_);
+    for (int j = 0; j < hidden_dim_; ++j) {
+      float i = step.gates.At(0, j);
+      float f = step.gates.At(0, hidden_dim_ + j);
+      float g = step.gates.At(0, 2 * hidden_dim_ + j);
+      float o = step.gates.At(0, 3 * hidden_dim_ + j);
+      float tc = step.tanh_c.At(0, j);
+      float dhj = dh.At(0, j);
+      // h = o * tanh(c)
+      float do_ = dhj * tc;
+      float dcj = dc.At(0, j) + dhj * o * (1.0f - tc * tc);
+      // c = f * c_prev + i * g
+      float di = dcj * g;
+      float df = dcj * c_prev_[t].At(0, j);
+      float dg = dcj * i;
+      dc_prev.At(0, j) = dcj * f;
+      // Through the gate nonlinearities.
+      dgates.At(0, j) = di * i * (1.0f - i);
+      dgates.At(0, hidden_dim_ + j) = df * f * (1.0f - f);
+      dgates.At(0, 2 * hidden_dim_ + j) = dg * (1.0f - g * g);
+      dgates.At(0, 3 * hidden_dim_ + j) = do_ * o * (1.0f - o);
+    }
+    w_.grad.Add(MatMulTransA(step.z, dgates));
+    b_.grad.Add(dgates);
+    Matrix dz = MatMulTransB(dgates, w_.value);
+    // Split dz into dx (discarded) and dh_prev.
+    Matrix dh_prev(1, hidden_dim_);
+    for (int j = 0; j < hidden_dim_; ++j) {
+      dh_prev.At(0, j) = dz.At(0, in_dim_ + j);
+    }
+    dh = dh_prev;
+    dc = dc_prev;
+  }
+}
+
+}  // namespace nn
+}  // namespace lce

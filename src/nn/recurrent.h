@@ -1,0 +1,73 @@
+// Recurrent sequence encoders: vanilla RNN and LSTM cells.
+//
+// Query-driven CE models that consume queries as token sequences (RNN, LSTM
+// estimators) encode a variable-length sequence into its final hidden state.
+// Backward-through-time is implemented for the final-state objective, which
+// is all those models need.
+
+#ifndef LCE_NN_RECURRENT_H_
+#define LCE_NN_RECURRENT_H_
+
+#include <vector>
+
+#include "src/nn/param.h"
+
+namespace lce {
+namespace nn {
+
+/// h_t = tanh(x_t Wx + h_{t-1} Wh + b); returns h_T.
+class RnnCell {
+ public:
+  RnnCell(int in_dim, int hidden_dim, Rng* rng);
+
+  /// `seq` is T x in_dim (T >= 1). Returns 1 x hidden_dim.
+  Matrix ForwardSequence(const Matrix& seq);
+
+  /// BPTT from dL/dh_T of the most recent ForwardSequence; accumulates
+  /// parameter gradients.
+  void BackwardSequence(const Matrix& dh_final);
+
+  std::vector<Param*> Params() { return {&wx_, &wh_, &b_}; }
+  int hidden_dim() const { return wh_.value.rows(); }
+  size_t NumParams() const {
+    return wx_.NumElements() + wh_.NumElements() + b_.NumElements();
+  }
+
+ private:
+  Param wx_, wh_, b_;
+  Matrix seq_;
+  std::vector<Matrix> hs_;  // h_1..h_T (post-tanh)
+};
+
+/// Standard LSTM with a fused gate projection: [i f g o] = z W + b where
+/// z = [x_t, h_{t-1}]. Returns h_T.
+class LstmCell {
+ public:
+  LstmCell(int in_dim, int hidden_dim, Rng* rng);
+
+  Matrix ForwardSequence(const Matrix& seq);
+  void BackwardSequence(const Matrix& dh_final);
+
+  std::vector<Param*> Params() { return {&w_, &b_}; }
+  int hidden_dim() const { return hidden_dim_; }
+  size_t NumParams() const { return w_.NumElements() + b_.NumElements(); }
+
+ private:
+  struct StepCache {
+    Matrix z;      // 1 x (in+hidden)
+    Matrix gates;  // 1 x 4*hidden, post-activation [i f g o]
+    Matrix c;      // 1 x hidden, cell state after the step
+    Matrix tanh_c; // 1 x hidden
+  };
+
+  int in_dim_;
+  int hidden_dim_;
+  Param w_, b_;
+  std::vector<StepCache> cache_;
+  std::vector<Matrix> c_prev_;  // cell state before each step
+};
+
+}  // namespace nn
+}  // namespace lce
+
+#endif  // LCE_NN_RECURRENT_H_

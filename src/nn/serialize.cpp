@@ -1,0 +1,42 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+
+namespace lce {
+namespace nn {
+
+void SaveParams(const std::vector<Param*>& params, std::ostream* os) {
+  for (const Param* p : params) {
+    int32_t rows = p->value.rows();
+    int32_t cols = p->value.cols();
+    os->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    os->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    os->write(reinterpret_cast<const char*>(p->value.data().data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+}
+
+Status LoadParams(const std::vector<Param*>& params, std::istream* is) {
+  for (Param* p : params) {
+    int32_t rows = 0, cols = 0;
+    is->read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    is->read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!*is) return Status::InvalidArgument("truncated parameter stream");
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    is->read(reinterpret_cast<char*>(p->value.data().data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!*is) return Status::InvalidArgument("truncated parameter stream");
+  }
+  return Status::OK();
+}
+
+size_t ParamBytes(const std::vector<Param*>& params) {
+  size_t bytes = 0;
+  for (const Param* p : params) bytes += p->NumElements() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace nn
+}  // namespace lce

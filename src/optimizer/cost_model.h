@@ -1,0 +1,35 @@
+// Cost model for hash-join plans.
+//
+// A C_out-flavoured model with explicit build/probe terms: scans pay per
+// input tuple, each hash join pays to build on its left input, probe with its
+// right input, and emit its output. Costs are deterministic functions of
+// (intermediate) cardinalities, so replaying a fixed plan under *true*
+// cardinalities yields a noise-free end-to-end latency proxy (DESIGN.md,
+// substitution table).
+
+#ifndef LCE_OPTIMIZER_COST_MODEL_H_
+#define LCE_OPTIMIZER_COST_MODEL_H_
+
+namespace lce {
+namespace opt {
+
+struct CostModel {
+  double scan_per_tuple = 0.2;
+  double build_per_tuple = 1.0;
+  double probe_per_tuple = 1.0;
+  double output_per_tuple = 0.3;
+
+  double ScanCost(double input_rows) const {
+    return scan_per_tuple * input_rows;
+  }
+  double JoinCost(double build_rows, double probe_rows,
+                  double output_rows) const {
+    return build_per_tuple * build_rows + probe_per_tuple * probe_rows +
+           output_per_tuple * output_rows;
+  }
+};
+
+}  // namespace opt
+}  // namespace lce
+
+#endif  // LCE_OPTIMIZER_COST_MODEL_H_

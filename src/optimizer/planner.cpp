@@ -1,0 +1,270 @@
+#include "src/optimizer/planner.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace opt {
+
+namespace {
+
+// Adjacency between query-table positions induced by the query's join edges.
+std::vector<uint32_t> PositionAdjacency(const query::Query& q,
+                                        const storage::DatabaseSchema& schema) {
+  int k = static_cast<int>(q.tables.size());
+  auto position_of = [&](int table) {
+    for (int i = 0; i < k; ++i) {
+      if (q.tables[i] == table) return i;
+    }
+    return -1;
+  };
+  std::vector<uint32_t> adj(k, 0);
+  for (int e : q.join_edges) {
+    const storage::JoinEdge& je = schema.joins[e];
+    int a = position_of(schema.TableIndex(je.left_table));
+    int b = position_of(schema.TableIndex(je.right_table));
+    LCE_CHECK(a >= 0 && b >= 0);
+    adj[a] |= (1u << b);
+    adj[b] |= (1u << a);
+  }
+  return adj;
+}
+
+bool IsConnectedMask(uint32_t mask, const std::vector<uint32_t>& adj) {
+  if (mask == 0) return false;
+  uint32_t start = mask & (~mask + 1);  // lowest set bit
+  uint32_t visited = start;
+  uint32_t frontier = start;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    uint32_t f = frontier;
+    while (f != 0) {
+      int pos = __builtin_ctz(f);
+      f &= f - 1;
+      next |= adj[pos] & mask & ~visited;
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == mask;
+}
+
+bool MasksJoinable(uint32_t a, uint32_t b, const std::vector<uint32_t>& adj) {
+  uint32_t x = a;
+  while (x != 0) {
+    int pos = __builtin_ctz(x);
+    x &= x - 1;
+    if (adj[pos] & b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> Planner::MaskToTables(const query::Query& q,
+                                       uint32_t mask) const {
+  std::vector<int> tables;
+  uint32_t m = mask;
+  while (m != 0) {
+    int pos = __builtin_ctz(m);
+    m &= m - 1;
+    tables.push_back(q.tables[pos]);
+  }
+  return tables;
+}
+
+Plan Planner::BestPlan(const query::Query& q, const CardFn& card) const {
+  int k = static_cast<int>(q.tables.size());
+  LCE_CHECK_MSG(k >= 1 && k <= 20, "planner supports 1..20 tables");
+  std::vector<uint32_t> adj = PositionAdjacency(q, db_->schema());
+  uint32_t full = k == 32 ? ~0u : ((1u << k) - 1);
+
+  Plan plan;
+  // Per connected mask: cached cardinality, best cost, best node id.
+  std::unordered_map<uint32_t, double> cards;
+  std::unordered_map<uint32_t, double> best_cost;
+  std::unordered_map<uint32_t, int> best_node;
+  auto card_of = [&](uint32_t mask) {
+    auto it = cards.find(mask);
+    if (it != cards.end()) return it->second;
+    double c = card(MaskToTables(q, mask));
+    cards.emplace(mask, c);
+    return c;
+  };
+
+  // Leaves.
+  for (int i = 0; i < k; ++i) {
+    uint32_t mask = 1u << i;
+    PlanNode leaf;
+    leaf.mask = mask;
+    leaf.table = q.tables[i];
+    plan.nodes.push_back(leaf);
+    double rows = static_cast<double>(db_->table(q.tables[i]).num_rows());
+    best_cost[mask] = cost_model_.ScanCost(rows);
+    best_node[mask] = static_cast<int>(plan.nodes.size()) - 1;
+  }
+
+  // DPsize: grow connected subsets by increasing popcount.
+  for (int size = 2; size <= k; ++size) {
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      if (!IsConnectedMask(mask, adj)) continue;
+      double best = std::numeric_limits<double>::infinity();
+      int best_l = -1, best_r = -1;
+      // Enumerate proper sub-masks as the build side.
+      for (uint32_t s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+        uint32_t s2 = mask ^ s1;
+        auto it1 = best_cost.find(s1);
+        auto it2 = best_cost.find(s2);
+        if (it1 == best_cost.end() || it2 == best_cost.end()) continue;
+        if (!MasksJoinable(s1, s2, adj)) continue;
+        double out_rows = card_of(mask);
+        double cost = it1->second + it2->second +
+                      cost_model_.JoinCost(card_of(s1), card_of(s2), out_rows);
+        if (cost < best) {
+          best = cost;
+          best_l = best_node[s1];
+          best_r = best_node[s2];
+        }
+      }
+      if (best_l < 0) continue;  // disconnected split space (shouldn't happen)
+      PlanNode join;
+      join.mask = mask;
+      join.left = best_l;
+      join.right = best_r;
+      plan.nodes.push_back(join);
+      best_cost[mask] = best;
+      best_node[mask] = static_cast<int>(plan.nodes.size()) - 1;
+    }
+  }
+
+  auto it = best_node.find(full);
+  LCE_CHECK_MSG(it != best_node.end(), "no plan found: query not connected?");
+  plan.root = it->second;
+  plan.cost = best_cost[full];
+  return plan;
+}
+
+Plan Planner::GreedyPlan(const query::Query& q, const CardFn& card) const {
+  int k = static_cast<int>(q.tables.size());
+  LCE_CHECK_MSG(k >= 1 && k <= 20, "planner supports 1..20 tables");
+  std::vector<uint32_t> adj = PositionAdjacency(q, db_->schema());
+
+  Plan plan;
+  std::unordered_map<uint32_t, double> cards;
+  auto card_of = [&](uint32_t mask) {
+    auto it = cards.find(mask);
+    if (it != cards.end()) return it->second;
+    double c = card(MaskToTables(q, mask));
+    cards.emplace(mask, c);
+    return c;
+  };
+
+  // Active subplans: node id + accumulated cost, keyed by mask.
+  struct Active {
+    uint32_t mask;
+    int node;
+    double cost;
+  };
+  std::vector<Active> active;
+  for (int i = 0; i < k; ++i) {
+    PlanNode leaf;
+    leaf.mask = 1u << i;
+    leaf.table = q.tables[i];
+    plan.nodes.push_back(leaf);
+    double rows = static_cast<double>(db_->table(q.tables[i]).num_rows());
+    active.push_back({leaf.mask, static_cast<int>(plan.nodes.size()) - 1,
+                      cost_model_.ScanCost(rows)});
+  }
+
+  while (active.size() > 1) {
+    double best_out = std::numeric_limits<double>::infinity();
+    size_t best_a = 0, best_b = 1;
+    for (size_t a = 0; a < active.size(); ++a) {
+      for (size_t b = a + 1; b < active.size(); ++b) {
+        if (!MasksJoinable(active[a].mask, active[b].mask, adj)) continue;
+        double out = card_of(active[a].mask | active[b].mask);
+        if (out < best_out) {
+          best_out = out;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    LCE_CHECK_MSG(std::isfinite(best_out), "query not connected");
+    // Build on the smaller side.
+    Active lhs = active[best_a];
+    Active rhs = active[best_b];
+    if (card_of(rhs.mask) < card_of(lhs.mask)) std::swap(lhs, rhs);
+    PlanNode join;
+    join.mask = lhs.mask | rhs.mask;
+    join.left = lhs.node;
+    join.right = rhs.node;
+    plan.nodes.push_back(join);
+    double cost = lhs.cost + rhs.cost +
+                  cost_model_.JoinCost(card_of(lhs.mask), card_of(rhs.mask),
+                                       best_out);
+    // Replace the two entries by the merged one.
+    active.erase(active.begin() + static_cast<long>(best_b));
+    active.erase(active.begin() + static_cast<long>(best_a));
+    active.push_back({join.mask, static_cast<int>(plan.nodes.size()) - 1,
+                      cost});
+  }
+  plan.root = active[0].node;
+  plan.cost = active[0].cost;
+  return plan;
+}
+
+double Planner::CostWithCards(const query::Query& q, const Plan& plan,
+                              const CardFn& card) const {
+  std::unordered_map<uint32_t, double> cards;
+  auto card_of = [&](uint32_t mask) {
+    auto it = cards.find(mask);
+    if (it != cards.end()) return it->second;
+    double c = card(MaskToTables(q, mask));
+    cards.emplace(mask, c);
+    return c;
+  };
+  // Recursive cost of the subtree rooted at `node`.
+  std::function<double(int)> cost_of = [&](int node) -> double {
+    const PlanNode& n = plan.nodes[node];
+    if (n.IsLeaf()) {
+      return cost_model_.ScanCost(
+          static_cast<double>(db_->table(n.table).num_rows()));
+    }
+    double left_cost = cost_of(n.left);
+    double right_cost = cost_of(n.right);
+    return left_cost + right_cost +
+           cost_model_.JoinCost(card_of(plan.nodes[n.left].mask),
+                                card_of(plan.nodes[n.right].mask),
+                                card_of(n.mask));
+  };
+  return cost_of(plan.root);
+}
+
+std::string Planner::ToString(const query::Query& q, const Plan& plan) const {
+  (void)q;
+  std::function<void(int, std::ostringstream&)> render =
+      [&](int node, std::ostringstream& oss) {
+        const PlanNode& n = plan.nodes[node];
+        if (n.IsLeaf()) {
+          oss << db_->schema().tables[n.table].name;
+          return;
+        }
+        oss << "(";
+        render(n.left, oss);
+        oss << " ⋈ ";
+        render(n.right, oss);
+        oss << ")";
+      };
+  std::ostringstream oss;
+  render(plan.root, oss);
+  return oss.str();
+}
+
+}  // namespace opt
+}  // namespace lce

@@ -1,0 +1,79 @@
+// Cost-based join-order optimization (DPsize over connected subsets).
+//
+// The planner enumerates all connected sub-plans of a query's join tree,
+// costs them with the configured cost model against a caller-provided
+// cardinality source (an estimator or the true-count oracle), and returns the
+// cheapest bushy hash-join plan. Replaying a plan under a different
+// cardinality source (CostWithCards) is how the end-to-end experiment (R9)
+// scores estimate-driven plans by their true cost.
+
+#ifndef LCE_OPTIMIZER_PLANNER_H_
+#define LCE_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/cost_model.h"
+#include "src/query/query.h"
+#include "src/storage/database.h"
+
+namespace lce {
+namespace opt {
+
+/// Cardinality source: exact/estimated COUNT(*) of the query restricted to
+/// `tables` (a connected subset of the query's tables, with the query's
+/// predicates and induced join edges).
+using CardFn = std::function<double(const std::vector<int>& tables)>;
+
+/// A node of a (bushy) hash-join plan. Leaves scan one table; inner nodes
+/// build a hash table on `left` and probe with `right`.
+struct PlanNode {
+  uint32_t mask = 0;  // subset of query-table *positions* covered
+  int table = -1;     // leaf: database table index
+  int left = -1;      // inner: child node ids
+  int right = -1;
+  bool IsLeaf() const { return table >= 0; }
+};
+
+struct Plan {
+  std::vector<PlanNode> nodes;
+  int root = -1;
+  double cost = 0;  // cost under the cardinalities used for planning
+};
+
+class Planner {
+ public:
+  Planner(const storage::Database* db, CostModel cost_model)
+      : db_(db), cost_model_(cost_model) {}
+
+  /// Optimal plan for `q` under `card`. Supports up to 20 tables nominally;
+  /// exact DP, so keep queries below ~12 tables.
+  Plan BestPlan(const query::Query& q, const CardFn& card) const;
+
+  /// Greedy operator ordering (GOO): repeatedly joins the connected pair of
+  /// subplans with the smallest estimated output. O(n^3) instead of the DP's
+  /// exponential enumeration; the quality gap under misestimates is the
+  /// planner-ablation experiment (R15).
+  Plan GreedyPlan(const query::Query& q, const CardFn& card) const;
+
+  /// Total cost of a fixed plan re-costed under a different cardinality
+  /// source (e.g. true counts). Scan inputs use current table row counts.
+  double CostWithCards(const query::Query& q, const Plan& plan,
+                       const CardFn& card) const;
+
+  /// Render a plan as a nested join expression for logs/examples.
+  std::string ToString(const query::Query& q, const Plan& plan) const;
+
+ private:
+  std::vector<int> MaskToTables(const query::Query& q, uint32_t mask) const;
+
+  const storage::Database* db_;
+  CostModel cost_model_;
+};
+
+}  // namespace opt
+}  // namespace lce
+
+#endif  // LCE_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,289 @@
+#include "src/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace lce {
+namespace query {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kSymbol, kEnd } kind = Kind::kEnd;
+  std::string text;   // identifiers uppercased for keyword checks? no: raw
+  int64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Token Next() {
+    while (pos_ < input_.size() && std::isspace(
+               static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) return Token{Token::Kind::kEnd, "", 0};
+    char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kIdent, input_.substr(start, pos_ - start), 0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      Token t{Token::Kind::kNumber, input_.substr(start, pos_ - start), 0};
+      t.number = std::stoll(t.text);
+      return t;
+    }
+    // Multi-char comparison operators.
+    if ((c == '<' || c == '>') && pos_ + 1 < input_.size() &&
+        input_[pos_ + 1] == '=') {
+      pos_ += 2;
+      return Token{Token::Kind::kSymbol, std::string(1, c) + "=", 0};
+    }
+    ++pos_;
+    return Token{Token::Kind::kSymbol, std::string(1, c), 0};
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(
+                        static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool IsKeyword(const Token& t, const char* kw) {
+  return t.kind == Token::Kind::kIdent && Upper(t.text) == kw;
+}
+
+struct ColumnSite {
+  int table = -1;
+  int column = -1;
+};
+
+}  // namespace
+
+Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
+  const storage::DatabaseSchema& schema = db.schema();
+  Lexer lexer(sql);
+  Token tok = lexer.Next();
+
+  auto expect_keyword = [&](const char* kw) -> Status {
+    if (!IsKeyword(tok, kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " near '" + tok.text + "'");
+    }
+    tok = lexer.Next();
+    return Status::OK();
+  };
+  auto expect_symbol = [&](const char* sym) -> Status {
+    if (tok.kind != Token::Kind::kSymbol || tok.text != sym) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + tok.text + "'");
+    }
+    tok = lexer.Next();
+    return Status::OK();
+  };
+
+  // SELECT COUNT ( * ) FROM
+  if (Status s = expect_keyword("SELECT"); !s.ok()) return s;
+  if (Status s = expect_keyword("COUNT"); !s.ok()) return s;
+  if (Status s = expect_symbol("("); !s.ok()) return s;
+  if (Status s = expect_symbol("*"); !s.ok()) return s;
+  if (Status s = expect_symbol(")"); !s.ok()) return s;
+  if (Status s = expect_keyword("FROM"); !s.ok()) return s;
+
+  Query q;
+  // Table list.
+  for (;;) {
+    if (tok.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected table name near '" + tok.text +
+                                     "'");
+    }
+    int t = schema.TableIndex(tok.text);
+    if (t < 0) return Status::InvalidArgument("unknown table " + tok.text);
+    q.tables.push_back(t);
+    tok = lexer.Next();
+    if (tok.kind == Token::Kind::kSymbol && tok.text == ",") {
+      tok = lexer.Next();
+      continue;
+    }
+    break;
+  }
+  std::sort(q.tables.begin(), q.tables.end());
+  q.tables.erase(std::unique(q.tables.begin(), q.tables.end()),
+                 q.tables.end());
+
+  // Column reference: table . column
+  auto parse_column = [&]() -> Result<ColumnSite> {
+    if (tok.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected column reference near '" +
+                                     tok.text + "'");
+    }
+    std::string table_name = tok.text;
+    tok = lexer.Next();
+    if (Status s = expect_symbol("."); !s.ok()) return s;
+    if (tok.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected column name after '" +
+                                     table_name + ".'");
+    }
+    ColumnSite site;
+    site.table = schema.TableIndex(table_name);
+    if (site.table < 0) {
+      return Status::InvalidArgument("unknown table " + table_name);
+    }
+    site.column = schema.tables[site.table].ColumnIndex(tok.text);
+    if (site.column < 0) {
+      return Status::InvalidArgument("unknown column " + table_name + "." +
+                                     tok.text);
+    }
+    tok = lexer.Next();
+    return site;
+  };
+
+  // Merges a half-open or closed constraint into per-column ranges.
+  std::map<std::pair<int, int>, std::pair<storage::Value, storage::Value>>
+      ranges;
+  auto constrain = [&](const ColumnSite& site, storage::Value lo,
+                       storage::Value hi) {
+    const storage::ColumnStats& stats =
+        db.table(site.table).stats(site.column);
+    auto key = std::make_pair(site.table, site.column);
+    auto it = ranges.find(key);
+    if (it == ranges.end()) {
+      ranges[key] = {std::max(lo, stats.min), std::min(hi, stats.max)};
+    } else {
+      it->second.first = std::max(it->second.first, lo);
+      it->second.second = std::min(it->second.second, hi);
+    }
+  };
+
+  if (IsKeyword(tok, "WHERE")) {
+    tok = lexer.Next();
+    for (;;) {
+      Result<ColumnSite> left = parse_column();
+      if (!left.ok()) return left.status();
+
+      if (tok.kind == Token::Kind::kSymbol && tok.text == "=") {
+        tok = lexer.Next();
+        if (tok.kind == Token::Kind::kNumber) {
+          constrain(left.value(), tok.number, tok.number);
+          tok = lexer.Next();
+        } else {
+          // Join condition: col = col. Must match a declared edge.
+          Result<ColumnSite> right = parse_column();
+          if (!right.ok()) return right.status();
+          int edge = -1;
+          for (size_t j = 0; j < schema.joins.size(); ++j) {
+            const storage::JoinEdge& e = schema.joins[j];
+            int lt = schema.TableIndex(e.left_table);
+            int rt = schema.TableIndex(e.right_table);
+            int lc = schema.tables[lt].ColumnIndex(e.left_column);
+            int rc = schema.tables[rt].ColumnIndex(e.right_column);
+            bool forward = lt == left.value().table &&
+                           lc == left.value().column &&
+                           rt == right.value().table &&
+                           rc == right.value().column;
+            bool backward = rt == left.value().table &&
+                            rc == left.value().column &&
+                            lt == right.value().table &&
+                            lc == right.value().column;
+            if (forward || backward) {
+              edge = static_cast<int>(j);
+              break;
+            }
+          }
+          if (edge < 0) {
+            return Status::InvalidArgument(
+                "no declared join edge matches the join condition");
+          }
+          q.join_edges.push_back(edge);
+        }
+      } else if (IsKeyword(tok, "BETWEEN")) {
+        tok = lexer.Next();
+        if (tok.kind != Token::Kind::kNumber) {
+          return Status::InvalidArgument("expected number after BETWEEN");
+        }
+        storage::Value lo = tok.number;
+        tok = lexer.Next();
+        if (Status s = expect_keyword("AND"); !s.ok()) return s;
+        if (tok.kind != Token::Kind::kNumber) {
+          return Status::InvalidArgument("expected number after AND");
+        }
+        constrain(left.value(), lo, tok.number);
+        tok = lexer.Next();
+      } else if (tok.kind == Token::Kind::kSymbol &&
+                 (tok.text == "<" || tok.text == "<=" || tok.text == ">" ||
+                  tok.text == ">=")) {
+        std::string op = tok.text;
+        tok = lexer.Next();
+        if (tok.kind != Token::Kind::kNumber) {
+          return Status::InvalidArgument("expected number after '" + op + "'");
+        }
+        storage::Value v = tok.number;
+        if (op == "<") {
+          constrain(left.value(), storage::kValueMin, v - 1);
+        } else if (op == "<=") {
+          constrain(left.value(), storage::kValueMin, v);
+        } else if (op == ">") {
+          constrain(left.value(), v + 1, storage::kValueMax);
+        } else {
+          constrain(left.value(), v, storage::kValueMax);
+        }
+        tok = lexer.Next();
+      } else {
+        return Status::InvalidArgument("expected comparison near '" +
+                                       tok.text + "'");
+      }
+
+      if (IsKeyword(tok, "AND")) {
+        tok = lexer.Next();
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (tok.kind == Token::Kind::kSymbol && tok.text == ";") tok = lexer.Next();
+  if (tok.kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing input near '" + tok.text + "'");
+  }
+
+  // Deduplicate join edges and materialize predicates.
+  std::sort(q.join_edges.begin(), q.join_edges.end());
+  q.join_edges.erase(std::unique(q.join_edges.begin(), q.join_edges.end()),
+                     q.join_edges.end());
+  for (const auto& [key, range] : ranges) {
+    if (range.first > range.second) {
+      return Status::InvalidArgument("contradictory constraints on a column");
+    }
+    Predicate p;
+    p.col = {key.first, key.second};
+    p.lo = range.first;
+    p.hi = range.second;
+    q.predicates.push_back(p);
+  }
+
+  if (Status s = Validate(q, db); !s.ok()) return s;
+  return q;
+}
+
+}  // namespace query
+}  // namespace lce

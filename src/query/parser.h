@@ -1,0 +1,30 @@
+// SQL parser for the supported query class.
+//
+// Accepts the dialect this library emits (query::ToSql) plus common range
+// spellings, so users can feed workloads as text:
+//
+//   SELECT COUNT(*) FROM t1, t2
+//   WHERE t1.k = t2.fk AND t1.a BETWEEN 3 AND 17 AND t2.b = 5
+//     AND t2.c >= 10 AND t2.c < 42;
+//
+// Join conditions must match a declared PK–FK edge of the database schema;
+// open-ended comparisons are closed using column min/max statistics.
+
+#ifndef LCE_QUERY_PARSER_H_
+#define LCE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/query/query.h"
+
+namespace lce {
+namespace query {
+
+/// Parses one SQL statement into a validated Query. Errors carry a short
+/// explanation ("unknown table x", "no join edge between a.k and b.fk", ...).
+Result<Query> ParseSql(const std::string& sql, const storage::Database& db);
+
+}  // namespace query
+}  // namespace lce
+
+#endif  // LCE_QUERY_PARSER_H_

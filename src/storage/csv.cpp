@@ -1,0 +1,124 @@
+#include "src/storage/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace lce {
+namespace storage {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, delimiter)) cells.push_back(cell);
+  if (!line.empty() && line.back() == delimiter) cells.push_back("");
+  return cells;
+}
+
+bool ParseInt(const std::string& s, Value* out) {
+  if (s.empty()) return false;
+  size_t pos = 0;
+  try {
+    long long v = std::stoll(s, &pos);
+    if (pos != s.size()) return false;
+    *out = static_cast<Value>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream* in, const std::string& table_name,
+                      const CsvOptions& options, Dictionary* dict) {
+  std::string line;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    if (!std::getline(*in, line)) {
+      return Status::InvalidArgument("empty CSV input");
+    }
+    names = SplitLine(line, options.delimiter);
+    if (names.empty()) return Status::InvalidArgument("empty CSV header");
+  }
+
+  std::vector<std::vector<Value>> columns;
+  size_t width = names.size();
+  uint64_t row_number = options.has_header ? 1 : 0;
+  while (std::getline(*in, line)) {
+    ++row_number;
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line, options.delimiter);
+    if (width == 0) {
+      width = cells.size();
+      for (size_t c = 0; c < width; ++c) {
+        names.push_back("col" + std::to_string(c));
+      }
+    }
+    if (cells.size() != width) {
+      return Status::InvalidArgument("ragged CSV row at line " +
+                                     std::to_string(row_number));
+    }
+    if (columns.empty()) columns.resize(width);
+    for (size_t c = 0; c < width; ++c) {
+      Value v;
+      if (!ParseInt(cells[c], &v)) v = dict->Encode(cells[c]);
+      columns[c].push_back(v);
+    }
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+
+  TableSchema schema;
+  schema.name = table_name;
+  for (const std::string& name : names) {
+    bool is_key = std::find(options.key_columns.begin(),
+                            options.key_columns.end(),
+                            name) != options.key_columns.end();
+    schema.columns.push_back({name, is_key});
+  }
+  Table table(std::move(schema));
+  table.AppendColumns(columns);
+  table.Finalize();
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options, Dictionary* dict) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadCsv(&in, table_name, options, dict);
+}
+
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) *out << options.delimiter;
+    *out << table.schema().columns[c].name;
+  }
+  *out << "\n";
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) *out << options.delimiter;
+      *out << table.column(c)[r];
+    }
+    *out << "\n";
+  }
+  if (!*out) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  return WriteCsv(table, &out, options);
+}
+
+}  // namespace storage
+}  // namespace lce

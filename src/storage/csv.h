@@ -1,0 +1,49 @@
+// CSV import/export for tables.
+//
+// Lets users load their own data: numeric cells are parsed as int64, any
+// non-numeric cell is dictionary-encoded (one shared Dictionary per load, as
+// in the study's preprocessing of string attributes).
+
+#ifndef LCE_STORAGE_CSV_H_
+#define LCE_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/storage/dictionary.h"
+#include "src/storage/table.h"
+#include "src/util/status.h"
+
+namespace lce {
+namespace storage {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names.
+  bool has_header = true;
+  /// Column names (by exact match) treated as primary keys.
+  std::vector<std::string> key_columns;
+};
+
+/// Parses a CSV stream into a finalized Table named `table_name`. String
+/// cells are encoded through `dict` (which the caller keeps to decode
+/// results). Fails on ragged rows or an empty input.
+Result<Table> ReadCsv(std::istream* in, const std::string& table_name,
+                      const CsvOptions& options, Dictionary* dict);
+
+/// File-path convenience wrapper.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const std::string& table_name,
+                          const CsvOptions& options, Dictionary* dict);
+
+/// Writes the table (numeric form) with a header row.
+Status WriteCsv(const Table& table, std::ostream* out,
+                const CsvOptions& options = {});
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace storage
+}  // namespace lce
+
+#endif  // LCE_STORAGE_CSV_H_

@@ -1,0 +1,353 @@
+#include "src/storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace storage {
+namespace datagen {
+
+namespace {
+
+// Deterministic mixing of a base value into [0, domain): drives correlated
+// columns. Multiplicative hashing keeps the induced joint distribution far
+// from independence while remaining uniform-ish in the marginal.
+Value Mix(Value base, uint64_t domain, uint64_t salt) {
+  uint64_t h = static_cast<uint64_t>(base) * 2654435761ULL + salt * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<Value>(h % domain);
+}
+
+struct GenContext {
+  // Row counts of already-generated tables, for FK domains.
+  std::unordered_map<std::string, uint64_t> table_rows;
+};
+
+std::vector<std::vector<Value>> GenerateColumns(const TableGenSpec& spec,
+                                                uint64_t rows,
+                                                const GenContext& ctx,
+                                                double theta_delta,
+                                                double domain_shift_frac,
+                                                Rng* rng) {
+  std::vector<std::vector<Value>> cols(spec.columns.size());
+  std::unordered_map<std::string, int> col_index;
+  for (size_t c = 0; c < spec.columns.size(); ++c) {
+    col_index[spec.columns[c].name] = static_cast<int>(c);
+  }
+
+  for (size_t c = 0; c < spec.columns.size(); ++c) {
+    const ColumnGenSpec& cs = spec.columns[c];
+    cols[c].resize(rows);
+
+    if (cs.is_key) {
+      for (uint64_t r = 0; r < rows; ++r) cols[c][r] = static_cast<Value>(r);
+      continue;
+    }
+    if (cs.monotone_of_key) {
+      LCE_CHECK_MSG(cs.domain >= 1, "monotone column needs domain >= 1");
+      for (uint64_t r = 0; r < rows; ++r) {
+        cols[c][r] = static_cast<Value>(r * cs.domain / std::max<uint64_t>(rows, 1));
+      }
+      continue;
+    }
+
+    uint64_t domain = cs.domain;
+    std::string ref = cs.ref_table;
+    if (!ref.empty()) {
+      auto it = ctx.table_rows.find(ref);
+      LCE_CHECK_MSG(it != ctx.table_rows.end(),
+                    "FK column " << cs.name << " references table " << ref
+                                 << " that is not generated yet");
+      domain = it->second;
+    }
+    LCE_CHECK_MSG(domain >= 1, "column " << cs.name << " needs domain >= 1");
+
+    double theta = std::max(0.0, cs.zipf_theta + theta_delta);
+    ZipfSampler zipf(domain, theta);
+    Value shift = static_cast<Value>(domain_shift_frac * static_cast<double>(domain));
+
+    const std::vector<Value>* base = nullptr;
+    uint64_t salt = c + 1;
+    if (!cs.correlate_with.empty()) {
+      auto it = col_index.find(cs.correlate_with);
+      LCE_CHECK_MSG(it != col_index.end() &&
+                        static_cast<size_t>(it->second) < c,
+                    "column " << cs.name << " must correlate with an earlier "
+                              << "column in the same table");
+      base = &cols[it->second];
+    }
+
+    for (uint64_t r = 0; r < rows; ++r) {
+      Value v;
+      if (base != nullptr && rng->Bernoulli(cs.correlation)) {
+        v = Mix((*base)[r], domain, salt);
+      } else {
+        v = static_cast<Value>(zipf.Sample(rng));
+      }
+      // Drift shifts plain attributes, not FKs (referential integrity).
+      if (ref.empty()) v += shift;
+      cols[c][r] = v;
+    }
+  }
+  return cols;
+}
+
+uint64_t Scaled(double scale, uint64_t rows) {
+  return std::max<uint64_t>(1, static_cast<uint64_t>(scale * static_cast<double>(rows)));
+}
+
+}  // namespace
+
+std::unique_ptr<Database> Generate(const DatabaseGenSpec& spec, uint64_t seed) {
+  DatabaseSchema schema;
+  schema.name = spec.name;
+  for (const auto& ts : spec.tables) {
+    TableSchema t;
+    t.name = ts.name;
+    for (const auto& cs : ts.columns) {
+      t.columns.push_back({cs.name, cs.is_key});
+    }
+    schema.tables.push_back(std::move(t));
+  }
+  schema.joins = spec.joins;
+
+  auto db = std::make_unique<Database>(std::move(schema));
+  Rng rng(seed);
+  GenContext ctx;
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    Rng table_rng = rng.Fork();
+    auto cols = GenerateColumns(spec.tables[t], spec.tables[t].rows, ctx,
+                                /*theta_delta=*/0.0, /*domain_shift_frac=*/0.0,
+                                &table_rng);
+    db->table(static_cast<int>(t)).AppendColumns(cols);
+    ctx.table_rows[spec.tables[t].name] = spec.tables[t].rows;
+  }
+  db->FinalizeAll();
+  return db;
+}
+
+void AppendShifted(Database* db, const DatabaseGenSpec& spec, double fraction,
+                   double theta_delta, double domain_shift_frac,
+                   uint64_t seed) {
+  LCE_CHECK(fraction >= 0);
+  Rng rng(seed ^ 0xdead5eedULL);
+  GenContext ctx;
+  // FK domains must cover the *existing* referenced tables.
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    ctx.table_rows[spec.tables[t].name] = db->table(static_cast<int>(t)).num_rows();
+  }
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    uint64_t add = static_cast<uint64_t>(fraction * static_cast<double>(spec.tables[t].rows));
+    if (add == 0) continue;
+    Rng table_rng = rng.Fork();
+    TableGenSpec shifted = spec.tables[t];
+    // New keys continue after the existing range so PKs stay unique.
+    uint64_t key_offset = db->table(static_cast<int>(t)).num_rows();
+    auto cols = GenerateColumns(shifted, add, ctx, theta_delta,
+                                domain_shift_frac, &table_rng);
+    for (size_t c = 0; c < shifted.columns.size(); ++c) {
+      if (shifted.columns[c].is_key) {
+        for (auto& v : cols[c]) v += static_cast<Value>(key_offset);
+      }
+    }
+    db->table(static_cast<int>(t)).AppendColumns(cols);
+  }
+  db->FinalizeAll();
+}
+
+DatabaseGenSpec DmvLikeSpec(double scale) {
+  DatabaseGenSpec spec;
+  spec.name = "dmv";
+  TableGenSpec t;
+  t.name = "dmv";
+  t.rows = Scaled(scale, 60000);
+  t.columns = {
+      {.name = "record_type", .domain = 4, .zipf_theta = 0.8},
+      {.name = "reg_class", .domain = 60, .zipf_theta = 1.1,
+       .correlate_with = "record_type", .correlation = 0.7},
+      {.name = "state", .domain = 56, .zipf_theta = 1.6},
+      {.name = "county", .domain = 62, .zipf_theta = 0.9,
+       .correlate_with = "state", .correlation = 0.85},
+      {.name = "body_type", .domain = 35, .zipf_theta = 1.2,
+       .correlate_with = "reg_class", .correlation = 0.6},
+      {.name = "fuel_type", .domain = 9, .zipf_theta = 1.4,
+       .correlate_with = "body_type", .correlation = 0.5},
+      {.name = "model_year", .domain = 120, .zipf_theta = 0.6},
+      {.name = "color", .domain = 20, .zipf_theta = 0.7},
+      {.name = "scofflaw", .domain = 2, .zipf_theta = 1.8},
+      {.name = "suspended", .domain = 2, .zipf_theta = 1.9,
+       .correlate_with = "scofflaw", .correlation = 0.4},
+      {.name = "revoked", .domain = 2, .zipf_theta = 2.0,
+       .correlate_with = "suspended", .correlation = 0.5},
+  };
+  spec.tables.push_back(std::move(t));
+  return spec;
+}
+
+DatabaseGenSpec ImdbLikeSpec(double scale) {
+  DatabaseGenSpec spec;
+  spec.name = "imdb";
+  spec.tables = {
+      {.name = "title",
+       .rows = Scaled(scale, 30000),
+       .columns = {{.name = "id", .is_key = true},
+                   {.name = "kind_id", .domain = 7, .zipf_theta = 1.0},
+                   {.name = "production_year", .domain = 130, .zipf_theta = 0.8},
+                   {.name = "season_nr", .domain = 40, .zipf_theta = 1.5,
+                    .correlate_with = "kind_id", .correlation = 0.6},
+                   {.name = "episode_nr", .domain = 200, .zipf_theta = 1.3,
+                    .correlate_with = "season_nr", .correlation = 0.7}}},
+      {.name = "movie_companies",
+       .rows = Scaled(scale, 45000),
+       .columns = {{.name = "movie_id", .ref_table = "title", .zipf_theta = 0.9},
+                   {.name = "company_id", .domain = 2000, .zipf_theta = 1.2},
+                   {.name = "company_type_id", .domain = 4, .zipf_theta = 0.7,
+                    .correlate_with = "company_id", .correlation = 0.5}}},
+      {.name = "movie_info",
+       .rows = Scaled(scale, 60000),
+       .columns = {{.name = "movie_id", .ref_table = "title", .zipf_theta = 1.1},
+                   {.name = "info_type_id", .domain = 110, .zipf_theta = 1.0}}},
+      {.name = "movie_keyword",
+       .rows = Scaled(scale, 50000),
+       .columns = {{.name = "movie_id", .ref_table = "title", .zipf_theta = 1.3},
+                   {.name = "keyword_id", .domain = 5000, .zipf_theta = 1.5}}},
+      {.name = "cast_info",
+       .rows = Scaled(scale, 70000),
+       .columns = {{.name = "movie_id", .ref_table = "title", .zipf_theta = 0.8},
+                   {.name = "person_id", .domain = 20000, .zipf_theta = 1.1},
+                   {.name = "role_id", .domain = 11, .zipf_theta = 1.0}}},
+      {.name = "movie_info_idx",
+       .rows = Scaled(scale, 25000),
+       .columns = {{.name = "movie_id", .ref_table = "title", .zipf_theta = 1.0},
+                   {.name = "info_type_id", .domain = 5, .zipf_theta = 0.8}}},
+  };
+  spec.joins = {
+      {"title", "id", "movie_companies", "movie_id"},
+      {"title", "id", "movie_info", "movie_id"},
+      {"title", "id", "movie_keyword", "movie_id"},
+      {"title", "id", "cast_info", "movie_id"},
+      {"title", "id", "movie_info_idx", "movie_id"},
+  };
+  return spec;
+}
+
+DatabaseGenSpec TpchLikeSpec(double scale) {
+  DatabaseGenSpec spec;
+  spec.name = "tpch";
+  spec.tables = {
+      {.name = "customer",
+       .rows = Scaled(scale, 10000),
+       .columns = {{.name = "c_custkey", .is_key = true},
+                   {.name = "c_nationkey", .domain = 25, .zipf_theta = 0.4},
+                   {.name = "c_mktsegment", .domain = 5, .zipf_theta = 0.2},
+                   {.name = "c_acctbal", .domain = 10000, .zipf_theta = 0.0}}},
+      {.name = "part",
+       .rows = Scaled(scale, 8000),
+       .columns = {{.name = "p_partkey", .is_key = true},
+                   {.name = "p_brand", .domain = 25, .zipf_theta = 0.3},
+                   {.name = "p_size", .domain = 50, .zipf_theta = 0.5},
+                   {.name = "p_container", .domain = 40, .zipf_theta = 0.4,
+                    .correlate_with = "p_size", .correlation = 0.5}}},
+      {.name = "supplier",
+       .rows = Scaled(scale, 1000),
+       .columns = {{.name = "s_suppkey", .is_key = true},
+                   {.name = "s_nationkey", .domain = 25, .zipf_theta = 0.4}}},
+      {.name = "orders",
+       .rows = Scaled(scale, 30000),
+       .columns = {{.name = "o_orderkey", .is_key = true},
+                   {.name = "o_custkey", .ref_table = "customer", .zipf_theta = 0.7},
+                   {.name = "o_orderstatus", .domain = 3, .zipf_theta = 1.0},
+                   {.name = "o_orderdate", .domain = 2400, .zipf_theta = 0.1},
+                   {.name = "o_orderpriority", .domain = 5, .zipf_theta = 0.3}}},
+      {.name = "lineitem",
+       .rows = Scaled(scale, 80000),
+       .columns = {{.name = "l_orderkey", .ref_table = "orders", .zipf_theta = 0.5},
+                   {.name = "l_partkey", .ref_table = "part", .zipf_theta = 0.6},
+                   {.name = "l_suppkey", .ref_table = "supplier", .zipf_theta = 0.6},
+                   {.name = "l_quantity", .domain = 50, .zipf_theta = 0.0},
+                   {.name = "l_discount", .domain = 11, .zipf_theta = 0.5},
+                   {.name = "l_shipdate", .domain = 2500, .zipf_theta = 0.1,
+                    .correlate_with = "l_quantity", .correlation = 0.2}}},
+  };
+  spec.joins = {
+      {"customer", "c_custkey", "orders", "o_custkey"},
+      {"orders", "o_orderkey", "lineitem", "l_orderkey"},
+      {"part", "p_partkey", "lineitem", "l_partkey"},
+      {"supplier", "s_suppkey", "lineitem", "l_suppkey"},
+  };
+  return spec;
+}
+
+DatabaseGenSpec StatsLikeSpec(double scale) {
+  DatabaseGenSpec spec;
+  spec.name = "stats";
+  spec.tables = {
+      {.name = "users",
+       .rows = Scaled(scale, 15000),
+       .columns = {{.name = "u_id", .is_key = true},
+                   {.name = "u_reputation", .domain = 5000, .zipf_theta = 1.6},
+                   {.name = "u_upvotes", .domain = 3000, .zipf_theta = 1.7,
+                    .correlate_with = "u_reputation", .correlation = 0.8},
+                   {.name = "u_creation_year", .domain = 15, .zipf_theta = 0.5}}},
+      {.name = "posts",
+       .rows = Scaled(scale, 40000),
+       .columns = {{.name = "p_id", .is_key = true},
+                   {.name = "p_owner_user_id", .ref_table = "users", .zipf_theta = 1.4},
+                   {.name = "p_score", .domain = 300, .zipf_theta = 1.5},
+                   {.name = "p_view_count", .domain = 8000, .zipf_theta = 1.6,
+                    .correlate_with = "p_score", .correlation = 0.75},
+                   {.name = "p_answer_count", .domain = 40, .zipf_theta = 1.3,
+                    .correlate_with = "p_score", .correlation = 0.5}}},
+      {.name = "comments",
+       .rows = Scaled(scale, 60000),
+       .columns = {{.name = "c_post_id", .ref_table = "posts", .zipf_theta = 1.2},
+                   {.name = "c_user_id", .ref_table = "users", .zipf_theta = 1.5},
+                   {.name = "c_score", .domain = 100, .zipf_theta = 1.8}}},
+      {.name = "badges",
+       .rows = Scaled(scale, 25000),
+       .columns = {{.name = "b_user_id", .ref_table = "users", .zipf_theta = 1.3},
+                   {.name = "b_class", .domain = 3, .zipf_theta = 1.1}}},
+      {.name = "votes",
+       .rows = Scaled(scale, 70000),
+       .columns = {{.name = "v_post_id", .ref_table = "posts", .zipf_theta = 1.4},
+                   {.name = "v_vote_type", .domain = 15, .zipf_theta = 1.6}}},
+  };
+  spec.joins = {
+      {"users", "u_id", "posts", "p_owner_user_id"},
+      {"posts", "p_id", "comments", "c_post_id"},
+      {"users", "u_id", "badges", "b_user_id"},
+      {"posts", "p_id", "votes", "v_post_id"},
+  };
+  return spec;
+}
+
+DatabaseGenSpec SyntheticPairSpec(uint64_t rows, uint64_t domain, double theta,
+                                  double correlation) {
+  DatabaseGenSpec spec;
+  spec.name = "synthetic";
+  TableGenSpec t;
+  t.name = "synthetic";
+  t.rows = rows;
+  t.columns = {
+      {.name = "a", .domain = domain, .zipf_theta = theta},
+      {.name = "b", .domain = domain, .zipf_theta = theta,
+       .correlate_with = "a", .correlation = correlation},
+  };
+  spec.tables.push_back(std::move(t));
+  return spec;
+}
+
+std::vector<DatabaseGenSpec> AllStudyDatabases(double scale) {
+  return {DmvLikeSpec(scale), ImdbLikeSpec(scale), TpchLikeSpec(scale),
+          StatsLikeSpec(scale)};
+}
+
+}  // namespace datagen
+}  // namespace storage
+}  // namespace lce

@@ -1,0 +1,107 @@
+// Synthetic dataset generation.
+//
+// The study sweeps cardinality-estimation difficulty along three data axes —
+// skew, correlation, and domain size — and evaluates on one single-table and
+// three multi-table databases. This module provides (a) a fully parameterized
+// generator over those axes and (b) prebuilt specs that simulate the shape of
+// the study's datasets (DMV-like single table; IMDb/JOB-like, TPC-H-like and
+// STATS-like PK–FK snowflakes). See DESIGN.md §Substitutions for why these
+// simulators preserve the behaviour the experiments measure.
+
+#ifndef LCE_STORAGE_DATAGEN_H_
+#define LCE_STORAGE_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/database.h"
+
+namespace lce {
+namespace storage {
+namespace datagen {
+
+/// How one column's values are produced.
+struct ColumnGenSpec {
+  std::string name;
+
+  /// Sequential primary key 0..rows-1 (ignores the other knobs).
+  bool is_key = false;
+
+  /// Foreign key: values are drawn from the referenced table's key range with
+  /// Zipf(`zipf_theta`) fan-out skew. Empty string means "not a FK".
+  std::string ref_table;
+
+  /// Number of distinct values for plain attributes (values in [0, domain)).
+  uint64_t domain = 100;
+
+  /// Zipf skew of the marginal distribution (0 = uniform).
+  double zipf_theta = 0.0;
+
+  /// Name of an earlier column in the same table this one depends on
+  /// (empty = independent). With probability `correlation` the value is a
+  /// deterministic mixing function of the base column's value; otherwise it
+  /// is drawn independently. correlation=1 yields a functional dependency.
+  std::string correlate_with;
+  double correlation = 0.0;
+
+  /// Monotone function of the row index: value = floor(row * domain / rows).
+  /// Models attributes like creation dates that grow with the primary key —
+  /// and therefore correlate with Zipf FK fanout, which is keyed on row ids.
+  bool monotone_of_key = false;
+};
+
+struct TableGenSpec {
+  std::string name;
+  uint64_t rows = 0;
+  std::vector<ColumnGenSpec> columns;
+};
+
+/// A database spec: tables must be listed so that every FK references an
+/// earlier table (dimension tables first).
+struct DatabaseGenSpec {
+  std::string name;
+  std::vector<TableGenSpec> tables;
+  std::vector<JoinEdge> joins;
+};
+
+/// Generates a database (tables finalized) deterministically from `seed`.
+std::unique_ptr<Database> Generate(const DatabaseGenSpec& spec, uint64_t seed);
+
+/// Appends `fraction * original_rows` new rows to every table, drawn from the
+/// spec with every non-key column's skew increased by `theta_delta` and its
+/// value range shifted by `domain_shift_frac * domain`. Models the data-drift
+/// scenario of experiment R10. Tables are re-finalized.
+void AppendShifted(Database* db, const DatabaseGenSpec& spec, double fraction,
+                   double theta_delta, double domain_shift_frac, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Prebuilt specs. `scale` multiplies row counts (1.0 = defaults sized so the
+// whole experiment suite runs on a laptop in minutes).
+// ---------------------------------------------------------------------------
+
+/// Single 11-attribute vehicle-registration-style table with clustered
+/// categorical correlations (DMV stand-in).
+DatabaseGenSpec DmvLikeSpec(double scale = 1.0);
+
+/// Six-table movie snowflake centered on `title` (IMDb/JOB stand-in).
+DatabaseGenSpec ImdbLikeSpec(double scale = 1.0);
+
+/// Five-table order-processing snowflake (TPC-H stand-in).
+DatabaseGenSpec TpchLikeSpec(double scale = 1.0);
+
+/// Five-table Q&A-forum snowflake (STATS/Stack-Exchange stand-in).
+DatabaseGenSpec StatsLikeSpec(double scale = 1.0);
+
+/// Two-attribute single table for the controlled sweeps R4–R6.
+DatabaseGenSpec SyntheticPairSpec(uint64_t rows, uint64_t domain, double theta,
+                                  double correlation);
+
+/// All four study databases, in a fixed order.
+std::vector<DatabaseGenSpec> AllStudyDatabases(double scale = 1.0);
+
+}  // namespace datagen
+}  // namespace storage
+}  // namespace lce
+
+#endif  // LCE_STORAGE_DATAGEN_H_

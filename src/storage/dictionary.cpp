@@ -1,0 +1,29 @@
+#include "src/storage/dictionary.h"
+
+namespace lce {
+namespace storage {
+
+Value Dictionary::Encode(const std::string& s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  Value id = static_cast<Value>(strings_.size());
+  ids_.emplace(s, id);
+  strings_.push_back(s);
+  return id;
+}
+
+Result<Value> Dictionary::Lookup(const std::string& s) const {
+  auto it = ids_.find(s);
+  if (it == ids_.end()) return Status::NotFound("string not in dictionary: " + s);
+  return it->second;
+}
+
+Result<std::string> Dictionary::Decode(Value id) const {
+  if (id < 0 || static_cast<size_t>(id) >= strings_.size()) {
+    return Status::OutOfRange("dictionary id " + std::to_string(id));
+  }
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace storage
+}  // namespace lce

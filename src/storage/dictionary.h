@@ -1,0 +1,41 @@
+// Dictionary encoding of string attributes.
+//
+// The study's protocol encodes string-typed attributes into numeric ids; this
+// class provides the bidirectional mapping. Ids are assigned densely in
+// insertion order so dictionary-encoded columns have compact domains.
+
+#ifndef LCE_STORAGE_DICTIONARY_H_
+#define LCE_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/types.h"
+#include "src/util/status.h"
+
+namespace lce {
+namespace storage {
+
+class Dictionary {
+ public:
+  /// Returns the id for `s`, inserting it if new.
+  Value Encode(const std::string& s);
+
+  /// Id for `s` without inserting; NotFound if absent.
+  Result<Value> Lookup(const std::string& s) const;
+
+  /// String for an id; OutOfRange if the id was never assigned.
+  Result<std::string> Decode(Value id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace storage
+}  // namespace lce
+
+#endif  // LCE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,90 @@
+#include "src/storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace storage {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  LCE_CHECK_MSG(!schema_.columns.empty(),
+                "table " << schema_.name << " needs at least one column");
+  columns_.resize(schema_.columns.size());
+  stats_.resize(schema_.columns.size());
+}
+
+const std::vector<Value>& Table::column(int index) const {
+  LCE_CHECK(index >= 0 && index < num_columns());
+  return columns_[index];
+}
+
+Result<int> Table::ColumnIndex(const std::string& name) const {
+  int idx = schema_.ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("column " + name + " in table " + schema_.name);
+  }
+  return idx;
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  LCE_CHECK_MSG(row.size() == columns_.size(),
+                "row width mismatch on table " << schema_.name);
+  for (size_t c = 0; c < row.size(); ++c) columns_[c].push_back(row[c]);
+  ++num_rows_;
+  finalized_ = false;
+}
+
+void Table::AppendColumns(const std::vector<std::vector<Value>>& columns) {
+  LCE_CHECK_MSG(columns.size() == columns_.size(),
+                "column count mismatch on table " << schema_.name);
+  size_t added = columns.empty() ? 0 : columns[0].size();
+  for (const auto& col : columns) {
+    LCE_CHECK_MSG(col.size() == added, "ragged column append");
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), columns[c].begin(), columns[c].end());
+  }
+  num_rows_ += added;
+  finalized_ = false;
+}
+
+void Table::Finalize() {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnStats& s = stats_[c];
+    s.rows = num_rows_;
+    if (columns_[c].empty()) {
+      s.min = s.max = 0;
+      s.distinct = 0;
+      continue;
+    }
+    auto [mn, mx] = std::minmax_element(columns_[c].begin(), columns_[c].end());
+    s.min = *mn;
+    s.max = *mx;
+    std::unordered_set<Value> seen(columns_[c].begin(), columns_[c].end());
+    s.distinct = seen.size();
+  }
+  finalized_ = true;
+}
+
+const ColumnStats& Table::stats(int column_index) const {
+  LCE_CHECK_MSG(finalized_, "Finalize() table " << schema_.name
+                                                << " before reading stats");
+  LCE_CHECK(column_index >= 0 && column_index < num_columns());
+  return stats_[column_index];
+}
+
+std::vector<Value> Table::Row(uint64_t row_index) const {
+  LCE_CHECK(row_index < num_rows_);
+  std::vector<Value> row(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) row[c] = columns_[c][row_index];
+  return row;
+}
+
+uint64_t Table::SizeBytes() const {
+  return num_rows_ * columns_.size() * sizeof(Value);
+}
+
+}  // namespace storage
+}  // namespace lce

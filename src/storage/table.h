@@ -1,0 +1,69 @@
+// In-memory columnar table.
+//
+// Storage is column-major (one contiguous vector per attribute) so the exact
+// executor can scan with good locality; appends are supported to model data
+// drift (experiment R10).
+
+#ifndef LCE_STORAGE_TABLE_H_
+#define LCE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/schema.h"
+#include "src/storage/types.h"
+#include "src/util/status.h"
+
+namespace lce {
+namespace storage {
+
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+  uint64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Direct read access to a column's data.
+  const std::vector<Value>& column(int index) const;
+
+  /// Column lookup by name; Status::NotFound if absent.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Appends one row (width must match the schema). Invalidates stats until
+  /// the next Finalize().
+  void AppendRow(const std::vector<Value>& row);
+
+  /// Bulk-append whole columns (must all be the same length).
+  void AppendColumns(const std::vector<std::vector<Value>>& columns);
+
+  /// Recomputes per-column statistics. Must be called after loading/appending
+  /// and before statistics-dependent consumers (histograms, encodings) run.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Stats for a column; requires finalized().
+  const ColumnStats& stats(int column_index) const;
+
+  /// Materializes one row (for debugging and integration tests).
+  std::vector<Value> Row(uint64_t row_index) const;
+
+  /// Approximate in-memory footprint of the data.
+  uint64_t SizeBytes() const;
+
+ private:
+  TableSchema schema_;
+  std::vector<std::vector<Value>> columns_;
+  std::vector<ColumnStats> stats_;
+  uint64_t num_rows_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace storage
+}  // namespace lce
+
+#endif  // LCE_STORAGE_TABLE_H_

@@ -1,0 +1,51 @@
+// Minimal logging and invariant-checking macros.
+//
+// LCE_CHECK* terminate the process with a diagnostic; they guard programming
+// errors on paths where Status propagation would add noise without value.
+
+#ifndef LCE_UTIL_LOGGING_H_
+#define LCE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace lce {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& what) {
+  std::fprintf(stderr, "[LCE CHECK FAILED] %s:%d: %s\n", file, line,
+               what.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lce
+
+#define LCE_CHECK(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::lce::internal::CheckFailed(__FILE__, __LINE__, #cond);          \
+    }                                                                   \
+  } while (0)
+
+#define LCE_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream oss_;                                          \
+      oss_ << #cond << " — " << msg;                                    \
+      ::lce::internal::CheckFailed(__FILE__, __LINE__, oss_.str());     \
+    }                                                                   \
+  } while (0)
+
+#define LCE_CHECK_OK(status_expr)                                       \
+  do {                                                                  \
+    const ::lce::Status s_ = (status_expr);                             \
+    if (!s_.ok()) {                                                     \
+      ::lce::internal::CheckFailed(__FILE__, __LINE__, s_.ToString());  \
+    }                                                                   \
+  } while (0)
+
+#endif  // LCE_UTIL_LOGGING_H_

@@ -1,0 +1,181 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng so that all
+// experiments are reproducible from a single seed. The core generator is
+// PCG32 (O'Neill, 2014): small state, good statistical quality, cheap.
+
+#ifndef LCE_UTIL_RNG_H_
+#define LCE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace lce {
+
+/// PCG32 generator plus the distribution helpers the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    state_ = 0;
+    inc_ = (seed << 1u) | 1u;
+    NextU32();
+    state_ += 0x853c49e6748fea9bULL + seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection to avoid modulo bias.
+  uint32_t Below(uint32_t bound) {
+    LCE_CHECK(bound > 0);
+    uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    LCE_CHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit span
+    // 64-bit rejection sampling.
+    uint64_t threshold = (0ULL - span) % span;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return lo + static_cast<int64_t>(r % span);
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Standard normal via Box–Muller.
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = Uniform();
+    double u2 = Uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Below(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Draw an index according to (unnormalized, non-negative) weights.
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    LCE_CHECK_MSG(total > 0, "Weighted() needs a positive total weight");
+    double r = Uniform() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fork an independent stream (for per-worker / per-table generators).
+  Rng Fork() { return Rng(NextU64() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_spare_ = false;
+  double spare_ = 0;
+};
+
+/// Zipf(θ) sampler over {0, ..., n-1} using the rejection-inversion method of
+/// Hörmann & Derflinger. θ = 0 degenerates to uniform; larger θ is more
+/// skewed. Precomputes nothing beyond scalar constants, so it is cheap to
+/// construct per column.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+    LCE_CHECK(n >= 1);
+    LCE_CHECK(theta >= 0.0);
+    if (theta_ < 1e-9) return;  // uniform fallback
+    h_x1_ = H(1.5) - InvPow(1.0);
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - HInv(H(2.5) - InvPow(2.0));
+  }
+
+  uint64_t Sample(Rng* rng) {
+    if (n_ == 1) return 0;
+    if (theta_ < 1e-9) {
+      return static_cast<uint64_t>(rng->UniformInt(0, static_cast<int64_t>(n_) - 1));
+    }
+    for (;;) {
+      double u = h_n_ + rng->Uniform() * (h_x1_ - h_n_);
+      double x = HInv(u);
+      double k = std::floor(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_ || u >= H(k + 0.5) - InvPow(k)) {
+        return static_cast<uint64_t>(k) - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-theta; handles theta == 1 via log.
+  double H(double x) const {
+    if (std::abs(1.0 - theta_) < 1e-9) return std::log(x);
+    return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+  }
+  double HInv(double x) const {
+    if (std::abs(1.0 - theta_) < 1e-9) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+  }
+  double InvPow(double x) const { return std::pow(x, -theta_); }
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_ = 0, h_n_ = 0, s_ = 0;
+};
+
+}  // namespace lce
+
+#endif  // LCE_UTIL_RNG_H_

@@ -1,0 +1,75 @@
+#include "src/util/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lce {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LCE_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  LCE_CHECK_MSG(row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v) {
+  std::ostringstream oss;
+  if (v == 0) {
+    oss << "0";
+  } else if (std::abs(v) >= 1e6 || std::abs(v) < 1e-3) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    oss << buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    oss << buf;
+  }
+  return oss.str();
+}
+
+std::string TablePrinter::Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream oss;
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "| " : " | ");
+      oss << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    oss << " |\n";
+    return oss.str();
+  };
+  std::ostringstream oss;
+  oss << render_row(header_);
+  oss << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    oss << std::string(widths[c] + 2, '-') << "|";
+  }
+  oss << "\n";
+  for (const auto& row : rows_) oss << render_row(row);
+  return oss.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace lce

@@ -1,0 +1,40 @@
+// Aligned ASCII table rendering for benchmark output.
+//
+// Every bench binary prints its table/figure series through this class so the
+// regenerated rows look uniform and are trivially diffable run-to-run.
+
+#ifndef LCE_UTIL_TABLE_PRINTER_H_
+#define LCE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lce {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 4 significant digits.
+  static std::string Num(double v);
+  /// Fixed decimals (e.g. latencies).
+  static std::string Fixed(double v, int decimals);
+
+  /// Renders the whole table, header first, with a separator rule.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lce
+
+#endif  // LCE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,193 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lce {
+namespace workload {
+
+WorkloadGenerator::WorkloadGenerator(const storage::Database* db,
+                                     WorkloadOptions options)
+    : db_(db), options_(std::move(options)), executor_(db) {
+  sorted_cache_.resize(db_->num_tables());
+  for (int t = 0; t < db_->num_tables(); ++t) {
+    sorted_cache_[t].resize(db_->table(t).num_columns());
+  }
+  LCE_CHECK(options_.max_joins >= 0);
+  LCE_CHECK(options_.min_predicates >= 0);
+  LCE_CHECK(options_.max_predicates >= options_.min_predicates);
+  LCE_CHECK(options_.center_lo >= 0 && options_.center_hi <= 1.0 &&
+            options_.center_lo < options_.center_hi);
+  for (const auto& tmpl : options_.template_whitelist) {
+    LCE_CHECK_MSG(db_->IsConnected(tmpl), "whitelisted template not connected");
+  }
+}
+
+std::vector<int> WorkloadGenerator::TemplateEdges(
+    const std::vector<int>& tables) const {
+  std::vector<int> edges;
+  const auto& schema = db_->schema();
+  for (size_t j = 0; j < schema.joins.size(); ++j) {
+    int lt = schema.TableIndex(schema.joins[j].left_table);
+    int rt = schema.TableIndex(schema.joins[j].right_table);
+    bool has_l = std::find(tables.begin(), tables.end(), lt) != tables.end();
+    bool has_r = std::find(tables.begin(), tables.end(), rt) != tables.end();
+    if (has_l && has_r) edges.push_back(static_cast<int>(j));
+  }
+  LCE_CHECK_MSG(edges.size() == tables.size() - 1,
+                "join graph must be a tree for unique template edges");
+  return edges;
+}
+
+std::vector<std::vector<int>> WorkloadGenerator::EnumerateTemplates() const {
+  std::vector<std::vector<int>> out;
+  int n = db_->num_tables();
+  LCE_CHECK_MSG(n <= 20, "template enumeration assumes small schemas");
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<int> tables;
+    for (int t = 0; t < n; ++t) {
+      if (mask & (1u << t)) tables.push_back(t);
+    }
+    if (static_cast<int>(tables.size()) > options_.max_joins + 1) continue;
+    if (!db_->IsConnected(tables)) continue;
+    out.push_back(std::move(tables));
+  }
+  return out;
+}
+
+std::vector<int> WorkloadGenerator::RandomTemplate(Rng* rng) const {
+  if (!options_.template_whitelist.empty()) {
+    return options_.template_whitelist[rng->Below(
+        static_cast<uint32_t>(options_.template_whitelist.size()))];
+  }
+  // Random walk on the join graph: uniform target size, grow by neighbors.
+  int max_tables = std::min(options_.max_joins + 1, db_->num_tables());
+  int target = 1 + static_cast<int>(rng->Below(static_cast<uint32_t>(max_tables)));
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::vector<int> tables = {
+        static_cast<int>(rng->Below(static_cast<uint32_t>(db_->num_tables())))};
+    while (static_cast<int>(tables.size()) < target) {
+      // Candidate neighbors of the current set.
+      std::vector<int> candidates;
+      for (int t = 0; t < db_->num_tables(); ++t) {
+        if (std::find(tables.begin(), tables.end(), t) != tables.end()) continue;
+        for (int u : tables) {
+          if (db_->JoinBetween(u, t) >= 0) {
+            candidates.push_back(t);
+            break;
+          }
+        }
+      }
+      if (candidates.empty()) break;
+      tables.push_back(
+          candidates[rng->Below(static_cast<uint32_t>(candidates.size()))]);
+    }
+    if (static_cast<int>(tables.size()) == target) {
+      std::sort(tables.begin(), tables.end());
+      return tables;
+    }
+  }
+  // Isolated table fallback (e.g. single-table schemas).
+  return {0};
+}
+
+query::Query WorkloadGenerator::BuildFromTemplate(const std::vector<int>& tables,
+                                                  Rng* rng) const {
+  query::Query q;
+  q.tables = tables;
+  std::sort(q.tables.begin(), q.tables.end());
+  if (q.tables.size() > 1) q.join_edges = TemplateEdges(q.tables);
+
+  // Candidate predicate columns: non-key columns of used tables.
+  std::vector<query::ColumnRef> candidates;
+  for (int t : q.tables) {
+    const auto& ts = db_->schema().tables[t];
+    for (size_t c = 0; c < ts.columns.size(); ++c) {
+      if (!ts.columns[c].is_key) {
+        candidates.push_back({t, static_cast<int>(c)});
+      }
+    }
+  }
+  if (candidates.empty()) return q;
+  rng->Shuffle(&candidates);
+  int span = options_.max_predicates - options_.min_predicates + 1;
+  int want = options_.min_predicates + static_cast<int>(rng->Below(span));
+  want = std::min<int>(want, static_cast<int>(candidates.size()));
+
+  for (int i = 0; i < want; ++i) {
+    const query::ColumnRef& ref = candidates[i];
+    const storage::Table& table = db_->table(ref.table);
+    if (table.num_rows() == 0) continue;
+    const storage::ColumnStats& stats = table.stats(ref.column);
+    // Data-centered bound: a value drawn from the configured quantile range
+    // of the column's distribution (the workload-drift knob).
+    const std::vector<storage::Value>& sorted =
+        SortedColumn(ref.table, ref.column);
+    double quantile = rng->Uniform(options_.center_lo, options_.center_hi);
+    uint64_t rank = static_cast<uint64_t>(
+        quantile * static_cast<double>(sorted.size() - 1));
+    rank = std::min<uint64_t>(rank, sorted.size() - 1);
+    storage::Value center = sorted[rank];
+
+    query::Predicate p;
+    p.col = ref;
+    if (rng->Bernoulli(options_.equality_prob)) {
+      p.lo = p.hi = center;
+    } else {
+      double range = static_cast<double>(stats.max - stats.min);
+      double width = rng->Uniform() * options_.max_range_frac * range;
+      double offset = rng->Uniform() * width;
+      p.lo = static_cast<storage::Value>(static_cast<double>(center) - offset);
+      p.hi = static_cast<storage::Value>(static_cast<double>(p.lo) + width);
+      if (p.hi < p.lo) p.hi = p.lo;
+    }
+    q.predicates.push_back(p);
+  }
+  return q;
+}
+
+const std::vector<storage::Value>& WorkloadGenerator::SortedColumn(
+    int table, int column) const {
+  std::vector<storage::Value>& cached = sorted_cache_[table][column];
+  if (cached.empty()) {
+    cached = db_->table(table).column(column);
+    std::sort(cached.begin(), cached.end());
+  }
+  return cached;
+}
+
+query::Query WorkloadGenerator::GenerateQuery(Rng* rng) const {
+  return BuildFromTemplate(RandomTemplate(rng), rng);
+}
+
+std::vector<query::LabeledQuery> WorkloadGenerator::GenerateLabeled(
+    int n, Rng* rng) const {
+  std::vector<query::LabeledQuery> out;
+  out.reserve(n);
+  while (static_cast<int>(out.size()) < n) {
+    query::Query q;
+    double card = 0;
+    bool found = false;
+    for (int attempt = 0; attempt < options_.max_attempts_per_query; ++attempt) {
+      q = GenerateQuery(rng);
+      card = executor_.Cardinality(q);
+      if (card >= options_.min_cardinality) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Guaranteed-nonempty fallback: an unfiltered single-table scan.
+      q = query::Query{};
+      q.tables = {static_cast<int>(rng->Below(
+          static_cast<uint32_t>(db_->num_tables())))};
+      card = static_cast<double>(db_->table(q.tables[0]).num_rows());
+    }
+    out.push_back({std::move(q), card});
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace lce

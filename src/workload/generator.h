@@ -1,0 +1,83 @@
+// Workload generation.
+//
+// Follows the protocol of learned-CE benchmarks: queries are built from
+// templates (connected table sets of the join graph) with data-centered range
+// predicates — a predicate's bounds are drawn around the value of a randomly
+// sampled row, so queries hit populated regions. The options expose the knobs
+// the experiments sweep: join count, predicate count, template whitelists
+// (generalization, R8) and center-region restriction (workload drift, R14).
+
+#ifndef LCE_WORKLOAD_GENERATOR_H_
+#define LCE_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/query/query.h"
+#include "src/storage/database.h"
+#include "src/util/rng.h"
+
+namespace lce {
+namespace workload {
+
+struct WorkloadOptions {
+  /// Maximum number of join edges (tables - 1). 0 = single-table queries.
+  int max_joins = 3;
+  int min_predicates = 1;
+  int max_predicates = 4;
+  /// Probability that a predicate is an equality instead of a range.
+  double equality_prob = 0.25;
+  /// Maximum predicate width as a fraction of the column's value range.
+  double max_range_frac = 0.35;
+  /// Predicate centers are drawn from this quantile range of each column's
+  /// value distribution. [0, 1] reproduces data-centered sampling; narrowing
+  /// it shifts the workload toward low/high value regions (drift knob).
+  double center_lo = 0.0;
+  double center_hi = 1.0;
+  /// If non-empty, only these templates (table sets) are used.
+  std::vector<std::vector<int>> template_whitelist;
+  /// Labeled generation rejects queries below this true cardinality, matching
+  /// the study's "drop empty-result training queries" rule.
+  double min_cardinality = 1.0;
+  int max_attempts_per_query = 200;
+};
+
+class WorkloadGenerator {
+ public:
+  /// `db` must be finalized and outlive the generator.
+  WorkloadGenerator(const storage::Database* db, WorkloadOptions options);
+
+  /// One structurally valid query (cardinality not checked).
+  query::Query GenerateQuery(Rng* rng) const;
+
+  /// `n` queries with true cardinalities >= options.min_cardinality.
+  std::vector<query::LabeledQuery> GenerateLabeled(int n, Rng* rng) const;
+
+  /// All templates (connected table subsets) with at most `max_joins` edges.
+  /// Every join graph in this library is a tree, so a connected subset has a
+  /// unique spanning edge set.
+  std::vector<std::vector<int>> EnumerateTemplates() const;
+
+  /// The induced join edges of a connected table set.
+  std::vector<int> TemplateEdges(const std::vector<int>& tables) const;
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  query::Query BuildFromTemplate(const std::vector<int>& tables,
+                                 Rng* rng) const;
+  std::vector<int> RandomTemplate(Rng* rng) const;
+  /// Sorted copy of a column's values, built lazily (quantile lookups).
+  const std::vector<storage::Value>& SortedColumn(int table, int column) const;
+
+  const storage::Database* db_;
+  WorkloadOptions options_;
+  exec::Executor executor_;
+  // Lazy per-column sorted values for quantile-based predicate centers.
+  mutable std::vector<std::vector<std::vector<storage::Value>>> sorted_cache_;
+};
+
+}  // namespace workload
+}  // namespace lce
+
+#endif  // LCE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,72 @@
+#include "src/workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/query/parser.h"
+
+namespace lce {
+namespace workload {
+
+Status SaveTrace(const std::vector<query::LabeledQuery>& workload,
+                 const storage::DatabaseSchema& schema, std::ostream* out) {
+  for (const auto& lq : workload) {
+    char count[32];
+    std::snprintf(count, sizeof(count), "%.0f", lq.cardinality);
+    *out << count << "\t" << query::ToSql(lq.q, schema) << "\n";
+  }
+  if (!*out) return Status::Internal("trace write failed");
+  return Status::OK();
+}
+
+Status SaveTraceFile(const std::vector<query::LabeledQuery>& workload,
+                     const storage::DatabaseSchema& schema,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  return SaveTrace(workload, schema, &out);
+}
+
+Result<std::vector<query::LabeledQuery>> LoadTrace(
+    std::istream* in, const storage::Database& db) {
+  std::vector<query::LabeledQuery> out;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     ": missing count/SQL separator");
+    }
+    double cardinality = 0;
+    try {
+      cardinality = std::stod(line.substr(0, tab));
+    } catch (...) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     ": bad count");
+    }
+    Result<query::Query> parsed = query::ParseSql(line.substr(tab + 1), db);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          "trace line " + std::to_string(line_number) + ": " +
+          parsed.status().message());
+    }
+    out.push_back({std::move(parsed).value(), cardinality});
+  }
+  return out;
+}
+
+Result<std::vector<query::LabeledQuery>> LoadTraceFile(
+    const std::string& path, const storage::Database& db) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return LoadTrace(&in, db);
+}
+
+}  // namespace workload
+}  // namespace lce

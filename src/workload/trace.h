@@ -1,0 +1,38 @@
+// Workload traces: persist labeled workloads as text and replay them.
+//
+// Format: one query per line, `<true_count>\t<SQL>`. SQL is the dialect
+// query::ToSql emits, re-parsed on load, so traces are human-editable and
+// portable across runs of the same schema.
+
+#ifndef LCE_WORKLOAD_TRACE_H_
+#define LCE_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/storage/database.h"
+
+namespace lce {
+namespace workload {
+
+Status SaveTrace(const std::vector<query::LabeledQuery>& workload,
+                 const storage::DatabaseSchema& schema, std::ostream* out);
+
+Status SaveTraceFile(const std::vector<query::LabeledQuery>& workload,
+                     const storage::DatabaseSchema& schema,
+                     const std::string& path);
+
+/// Parses a trace against `db`'s schema. Fails on the first malformed line
+/// (message carries the line number).
+Result<std::vector<query::LabeledQuery>> LoadTrace(
+    std::istream* in, const storage::Database& db);
+
+Result<std::vector<query::LabeledQuery>> LoadTraceFile(
+    const std::string& path, const storage::Database& db);
+
+}  // namespace workload
+}  // namespace lce
+
+#endif  // LCE_WORKLOAD_TRACE_H_

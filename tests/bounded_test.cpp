@@ -1,0 +1,112 @@
+#include "src/ce/bounded.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ce/factory.h"
+#include "src/eval/metrics.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::vector<query::LabeledQuery> train;
+  std::vector<query::LabeledQuery> test;
+};
+
+const Env& SharedEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    e->db = storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.1), 5);
+    workload::WorkloadOptions opts;
+    opts.max_joins = 0;
+    workload::WorkloadGenerator gen(e->db.get(), opts);
+    Rng rng(6);
+    e->train = gen.GenerateLabeled(400, &rng);
+    e->test = gen.GenerateLabeled(60, &rng);
+    return e;
+  }();
+  return *env;
+}
+
+NeuralOptions Fast() {
+  NeuralOptions o;
+  o.epochs = 6;
+  o.hidden_dim = 16;
+  return o;
+}
+
+TEST(BoundedEstimatorTest, EstimatesStayInsideEnvelope) {
+  const Env& env = SharedEnv();
+  double envelope = 4.0;
+  BoundedEstimator bounded(MakeEstimator("FCN", Fast()),
+                           MakeEstimator("Histogram"), envelope);
+  ASSERT_TRUE(bounded.Build(*env.db, env.train).ok());
+  for (const auto& lq : env.test) {
+    double reference = bounded.reference()->EstimateCardinality(lq.q);
+    double est = bounded.EstimateCardinality(lq.q);
+    EXPECT_LE(est, reference * envelope * (1 + 1e-9));
+    EXPECT_GE(est, std::max(1.0, reference / envelope) * (1 - 1e-9));
+  }
+}
+
+TEST(BoundedEstimatorTest, WideEnvelopeIsTransparent) {
+  const Env& env = SharedEnv();
+  auto raw = MakeEstimator("FCN", Fast());
+  ASSERT_TRUE(raw->Build(*env.db, env.train).ok());
+  BoundedEstimator bounded(MakeEstimator("FCN", Fast()),
+                           MakeEstimator("Histogram"), 1e12);
+  ASSERT_TRUE(bounded.Build(*env.db, env.train).ok());
+  for (const auto& lq : env.test) {
+    EXPECT_DOUBLE_EQ(bounded.EstimateCardinality(lq.q),
+                     raw->EstimateCardinality(lq.q));
+  }
+}
+
+TEST(BoundedEstimatorTest, MaxQErrorBoundedByReferenceTimesEnvelope) {
+  const Env& env = SharedEnv();
+  double envelope = 4.0;
+  BoundedEstimator bounded(MakeEstimator("FCN", Fast()),
+                           MakeEstimator("Histogram"), envelope);
+  ASSERT_TRUE(bounded.Build(*env.db, env.train).ok());
+  for (const auto& lq : env.test) {
+    double ref_q = eval::QError(
+        bounded.reference()->EstimateCardinality(lq.q), lq.cardinality);
+    double bounded_q =
+        eval::QError(bounded.EstimateCardinality(lq.q), lq.cardinality);
+    EXPECT_LE(bounded_q, ref_q * envelope * (1 + 1e-9));
+  }
+}
+
+TEST(BoundedEstimatorTest, NameAndSizeComposeParts) {
+  BoundedEstimator bounded(MakeEstimator("FCN", Fast()),
+                           MakeEstimator("Histogram"), 2.0);
+  EXPECT_EQ(bounded.Name(), "FCN+Bound");
+  const Env& env = SharedEnv();
+  ASSERT_TRUE(bounded.Build(*env.db, env.train).ok());
+  EXPECT_EQ(bounded.SizeBytes(),
+            bounded.inner()->SizeBytes() + bounded.reference()->SizeBytes());
+}
+
+TEST(BoundedEstimatorTest, UpdateWithDataRefreshesReference) {
+  storage::datagen::DatabaseGenSpec spec =
+      storage::datagen::SyntheticPairSpec(6000, 32, 0.0, 0.0);
+  auto db = storage::datagen::Generate(spec, 7);
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(8);
+  auto train = gen.GenerateLabeled(200, &rng);
+  BoundedEstimator bounded(MakeEstimator("FCN", Fast()),
+                           MakeEstimator("Histogram"), 2.0);
+  ASSERT_TRUE(bounded.Build(*db, train).ok());
+  storage::datagen::AppendShifted(db.get(), spec, 1.0, 0.0, 0.0, 9);
+  EXPECT_TRUE(bounded.UpdateWithData(*db).ok());
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

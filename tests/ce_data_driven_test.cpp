@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "src/ce/data_driven/bayesnet.h"
+#include "src/ce/data_driven/binning.h"
+#include "src/ce/data_driven/naru.h"
+#include "src/ce/data_driven/spn.h"
+#include "src/ce/factory.h"
+#include "src/eval/metrics.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+TEST(ColumnBinnerTest, SmallDomainGetsOneBinPerValue) {
+  storage::ColumnStats stats;
+  stats.min = 0;
+  stats.max = 4;
+  ColumnBinner binner;
+  binner.Fit(stats, 64);
+  EXPECT_EQ(binner.num_bins(), 5);
+  for (storage::Value v = 0; v <= 4; ++v) {
+    EXPECT_EQ(binner.BinOf(v), static_cast<int>(v));
+  }
+}
+
+TEST(ColumnBinnerTest, OverlapFractionsSumToRangeCoverage) {
+  storage::ColumnStats stats;
+  stats.min = 0;
+  stats.max = 99;
+  ColumnBinner binner;
+  binner.Fit(stats, 10);  // bins of width 10
+  auto full = binner.Overlap(0, 99);
+  double mass = 0;
+  for (auto [bin, frac] : full) mass += frac;
+  EXPECT_NEAR(mass, 10.0, 1e-9);  // every bin fully covered
+  auto half_bin = binner.Overlap(0, 4);
+  ASSERT_EQ(half_bin.size(), 1u);
+  EXPECT_EQ(half_bin[0].first, 0);
+  EXPECT_NEAR(half_bin[0].second, 0.5, 1e-9);
+  EXPECT_TRUE(binner.Overlap(200, 300).empty());
+}
+
+struct DataDrivenCase {
+  std::string name;
+};
+
+class DataDrivenModelTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const storage::Database& Db() {
+    static auto* db =
+        storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.15), 41)
+            .release();
+    return *db;
+  }
+};
+
+TEST_P(DataDrivenModelTest, SingleTableAccuracyBeatsIndependenceOnCorrelated) {
+  // Correlated synthetic pair: data-driven models should beat the
+  // independence-assuming histogram on conjunctive predicates.
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(20000, 32, 0.4, 0.9), 42);
+  auto model = MakeEstimator(GetParam(), NeuralOptions{}, 43);
+  auto hist = MakeEstimator("Histogram", NeuralOptions{}, 43);
+  ASSERT_TRUE(model->Build(*db, {}).ok());
+  ASSERT_TRUE(hist->Build(*db, {}).ok());
+
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  opts.min_predicates = 2;
+  opts.max_predicates = 2;
+  opts.equality_prob = 0.5;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(44);
+  auto test = gen.GenerateLabeled(100, &rng);
+  double model_g = eval::EvaluateAccuracy(model.get(), test).summary.geo_mean;
+  double hist_g = eval::EvaluateAccuracy(hist.get(), test).summary.geo_mean;
+  EXPECT_LT(model_g, hist_g) << GetParam();
+}
+
+TEST_P(DataDrivenModelTest, EstimatesAreSaneOnRealisticTable) {
+  auto est = MakeEstimator(GetParam(), NeuralOptions{}, 45);
+  ASSERT_TRUE(est->Build(Db(), {}).ok());
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  workload::WorkloadGenerator gen(&Db(), opts);
+  Rng rng(46);
+  auto test = gen.GenerateLabeled(80, &rng);
+  double full_rows = static_cast<double>(Db().table(0).num_rows());
+  for (const auto& lq : test) {
+    double e = est->EstimateCardinality(lq.q);
+    EXPECT_GE(e, 1.0);
+    EXPECT_LE(e, full_rows * 1.01) << GetParam();
+  }
+  auto report = eval::EvaluateAccuracy(est.get(), test);
+  EXPECT_LT(report.summary.p50, 10.0) << GetParam();
+}
+
+TEST_P(DataDrivenModelTest, UpdateWithDataTracksAppends) {
+  storage::datagen::DatabaseGenSpec spec =
+      storage::datagen::SyntheticPairSpec(10000, 16, 0.0, 0.0);
+  auto db = storage::datagen::Generate(spec, 47);
+  auto est = MakeEstimator(GetParam(), NeuralOptions{}, 48);
+  ASSERT_TRUE(est->Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 7}};  // half the domain
+  double before = est->EstimateCardinality(q);
+  storage::datagen::AppendShifted(db.get(), spec, 1.0, 0.0, 0.0, 49);
+  ASSERT_TRUE(est->UpdateWithData(*db).ok());
+  double after = est->EstimateCardinality(q);
+  EXPECT_GT(after, before * 1.5) << GetParam();  // data doubled
+  EXPECT_GT(est->SizeBytes(), 0u);
+}
+
+TEST_P(DataDrivenModelTest, JoinQueriesProduceFiniteEstimates) {
+  auto db =
+      storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.05), 50);
+  auto est = MakeEstimator(GetParam(), NeuralOptions{}, 51);
+  ASSERT_TRUE(est->Build(*db, {}).ok());
+  workload::WorkloadOptions opts;
+  opts.max_joins = 3;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(52);
+  auto test = gen.GenerateLabeled(40, &rng);
+  for (const auto& lq : test) {
+    double e = est->EstimateCardinality(lq.q);
+    EXPECT_GE(e, 1.0);
+    EXPECT_TRUE(std::isfinite(e)) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DataDrivenModelTest,
+                         ::testing::Values("Naru", "DeepDB-SPN", "BayesNet"));
+
+TEST(SpnModelTest, StructureContainsSumAndLeafNodes) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(8000, 32, 0.5, 0.5), 53);
+  SpnTableModel model;
+  Rng rng(54);
+  model.Fit(db->table(0), SpnTableModel::Options{}, &rng);
+  EXPECT_GT(model.num_nodes(), 1u);
+  // Unconstrained query has probability ~1.
+  std::vector<std::optional<std::pair<storage::Value, storage::Value>>> open(2);
+  EXPECT_NEAR(model.Selectivity(open), 1.0, 1e-6);
+}
+
+TEST(SpnModelTest, SelectivityIsMonotoneInRangeWidth) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(8000, 64, 0.8, 0.3), 55);
+  SpnTableModel model;
+  Rng rng(56);
+  model.Fit(db->table(0), SpnTableModel::Options{}, &rng);
+  std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
+      narrow(2), wide(2);
+  narrow[0] = {{10, 20}};
+  wide[0] = {{5, 40}};
+  EXPECT_LE(model.Selectivity(narrow), model.Selectivity(wide) + 1e-9);
+}
+
+TEST(BayesNetModelTest, UnconstrainedQueryHasUnitProbability) {
+  auto db = storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.05), 57);
+  BayesNetTableModel model;
+  Rng rng(58);
+  model.Fit(db->table(0), BayesNetTableModel::Options{}, &rng);
+  std::vector<std::optional<std::pair<storage::Value, storage::Value>>> open(
+      db->table(0).num_columns());
+  EXPECT_NEAR(model.Selectivity(open), 1.0, 1e-6);
+}
+
+TEST(NaruModelTest, SelectivityBoundedAndReproducible) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(10000, 32, 1.0, 0.5), 59);
+  NaruTableModel model;
+  Rng rng(60);
+  model.Fit(db->table(0), NaruTableModel::Options{}, &rng);
+  std::vector<std::optional<std::pair<storage::Value, storage::Value>>> r(2);
+  r[0] = {{0, 10}};
+  r[1] = {{0, 5}};
+  Rng eval_rng1(61), eval_rng2(61);
+  double s1 = model.Selectivity(r, &eval_rng1);
+  double s2 = model.Selectivity(r, &eval_rng2);
+  EXPECT_DOUBLE_EQ(s1, s2);
+  EXPECT_GE(s1, 0.0);
+  EXPECT_LE(s1, 1.0);
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,128 @@
+// Tests of the sample-based estimator family additions: KDE and Wander Join
+// (plus the hash-index substrate behind Wander Join).
+
+#include <gtest/gtest.h>
+
+#include "src/ce/traditional/kde.h"
+#include "src/ce/traditional/wander_join.h"
+#include "src/eval/metrics.h"
+#include "src/exec/executor.h"
+#include "src/exec/hash_index.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+TEST(HashIndexTest, LookupReturnsAllMatchingRows) {
+  storage::Table t(storage::TableSchema{"t", {{"k", false}}});
+  t.AppendColumns({{5, 3, 5, 7, 5}});
+  t.Finalize();
+  exec::HashIndex index;
+  index.Build(t, 0);
+  const auto* rows = index.Lookup(5);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_EQ(index.Lookup(99), nullptr);
+  EXPECT_GT(index.SizeBytes(), 0u);
+}
+
+TEST(KdeTest, AccurateOnSmoothSingleTableRanges) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(30000, 500, 0.3, 0.0), 1);
+  KdeEstimator kde;
+  ASSERT_TRUE(kde.Build(*db, {}).ok());
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  opts.equality_prob = 0.0;  // KDE shines on ranges
+  opts.min_cardinality = 50;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(2);
+  auto test = gen.GenerateLabeled(120, &rng);
+  auto report = eval::EvaluateAccuracy(&kde, test);
+  EXPECT_LT(report.summary.p50, 1.6);
+  EXPECT_LT(report.summary.geo_mean, 2.0);
+}
+
+TEST(KdeTest, EstimateBoundedAndUpdatesWithData) {
+  storage::datagen::DatabaseGenSpec spec =
+      storage::datagen::SyntheticPairSpec(8000, 64, 1.0, 0.5);
+  auto db = storage::datagen::Generate(spec, 3);
+  KdeEstimator kde;
+  ASSERT_TRUE(kde.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 31}};
+  double before = kde.EstimateCardinality(q);
+  EXPECT_GE(before, 1.0);
+  storage::datagen::AppendShifted(db.get(), spec, 1.0, 0.0, 0.0, 4);
+  ASSERT_TRUE(kde.UpdateWithData(*db).ok());
+  EXPECT_GT(kde.EstimateCardinality(q), before * 1.4);
+}
+
+TEST(WanderJoinTest, UnbiasedOnTwoWayJoin) {
+  auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.03), 5);
+  exec::Executor ex(db.get());
+  WanderJoinEstimator::Options opts;
+  opts.num_walks = 4000;
+  WanderJoinEstimator wj(opts);
+  ASSERT_TRUE(wj.Build(*db, {}).ok());
+
+  query::Query q;
+  q.tables = {0, 1};
+  q.join_edges = {0};
+  double truth = ex.Cardinality(q);
+  double est = wj.EstimateCardinality(q);
+  ASSERT_GT(truth, 0);
+  EXPECT_LT(eval::QError(est, truth), 1.15);  // unfiltered join: tight
+}
+
+TEST(WanderJoinTest, BeatsIndependentSamplingOnFilteredJoins) {
+  auto db =
+      storage::datagen::Generate(storage::datagen::StatsLikeSpec(0.08), 6);
+  WanderJoinEstimator wj;
+  ASSERT_TRUE(wj.Build(*db, {}).ok());
+  workload::WorkloadOptions opts;
+  opts.max_joins = 2;
+  opts.min_cardinality = 10;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(7);
+  auto test = gen.GenerateLabeled(60, &rng);
+  auto report = eval::EvaluateAccuracy(&wj, test);
+  EXPECT_LT(report.summary.p50, 4.0);
+  for (double qerr : report.qerrors) EXPECT_TRUE(std::isfinite(qerr));
+}
+
+TEST(WanderJoinTest, SingleTableDegeneratesToRowSampling) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(20000, 16, 0.3, 0.0), 8);
+  exec::Executor ex(db.get());
+  WanderJoinEstimator wj;
+  ASSERT_TRUE(wj.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 7}};
+  double truth = ex.Cardinality(q);
+  EXPECT_LT(eval::QError(wj.EstimateCardinality(q), truth), 1.3);
+}
+
+TEST(WanderJoinTest, TracksDataUpdates) {
+  storage::datagen::DatabaseGenSpec spec = storage::datagen::TpchLikeSpec(0.03);
+  auto db = storage::datagen::Generate(spec, 9);
+  WanderJoinEstimator wj;
+  ASSERT_TRUE(wj.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0, 3};
+  q.join_edges = {0};
+  double before = wj.EstimateCardinality(q);
+  storage::datagen::AppendShifted(db.get(), spec, 1.0, 0.0, 0.0, 10);
+  ASSERT_TRUE(wj.UpdateWithData(*db).ok());
+  // Rows doubled on both sides: the unfiltered join count grows ~2x (new
+  // orders reference old+new customers uniformly).
+  EXPECT_GT(wj.EstimateCardinality(q), before * 1.5);
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "src/ce/traditional/histogram.h"
+#include "src/ce/traditional/multidim_histogram.h"
+#include "src/ce/traditional/sampling.h"
+#include "src/eval/metrics.h"
+#include "src/exec/executor.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+TEST(EquiDepthHistogramTest, FullRangeCoversAllMass) {
+  EquiDepthHistogram h;
+  std::vector<storage::Value> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i % 97);
+  h.Build(values, 16);
+  EXPECT_NEAR(h.FractionInRange(0, 96), 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(200, 300), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionInRange(50, 40), 0.0);  // inverted
+}
+
+TEST(EquiDepthHistogramTest, HalfRangeOnUniformIsHalf) {
+  EquiDepthHistogram h;
+  std::vector<storage::Value> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 100);
+  h.Build(values, 32);
+  EXPECT_NEAR(h.FractionInRange(0, 49), 0.5, 0.05);
+  EXPECT_NEAR(h.FractionInRange(25, 74), 0.5, 0.05);
+}
+
+TEST(McvListTest, RangeMembership) {
+  McvList mcv;
+  mcv.values = {5, 10, 20};
+  mcv.fractions = {0.3, 0.2, 0.1};
+  mcv.total_fraction = 0.6;
+  EXPECT_DOUBLE_EQ(mcv.FractionInRange(5, 10), 0.5);
+  EXPECT_DOUBLE_EQ(mcv.FractionInRange(6, 9), 0.0);
+  EXPECT_DOUBLE_EQ(mcv.FractionInRange(0, 100), 0.6);
+}
+
+TEST(HistogramEstimatorTest, ExactOnPointQueryOfHeavyValue) {
+  // A huge MCV must be estimated almost exactly.
+  storage::datagen::DatabaseGenSpec spec =
+      storage::datagen::SyntheticPairSpec(20000, 50, 2.0, 0.0);
+  auto db = storage::datagen::Generate(spec, 3);
+  exec::Executor ex(db.get());
+  HistogramEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 0}};  // the Zipf head value
+  double truth = ex.Cardinality(q);
+  ASSERT_GT(truth, 1000);  // theta=2 concentrates the head
+  EXPECT_LT(eval::QError(est.EstimateCardinality(q), truth), 1.2);
+}
+
+TEST(HistogramEstimatorTest, ReasonableOnSingleTableWorkload) {
+  auto db = storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.2), 5);
+  HistogramEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(6);
+  auto test = gen.GenerateLabeled(150, &rng);
+  auto report = eval::EvaluateAccuracy(&est, test);
+  EXPECT_LT(report.summary.p50, 3.0);
+}
+
+TEST(HistogramEstimatorTest, IndependenceFailsOnStrongCorrelation) {
+  // With a functional dependency b = f(a), conjunctive point predicates have
+  // true selectivity = sel(a) (when consistent), but independence predicts
+  // sel(a) * sel(b): the classic underestimation.
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(30000, 40, 0.0, 1.0), 7);
+  exec::Executor ex(db.get());
+  HistogramEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  // Find a consistent (a, b) pair from the data.
+  storage::Value a = db->table(0).column(0)[0];
+  storage::Value b = db->table(0).column(1)[0];
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, a, a}, {{0, 1}, b, b}};
+  double truth = ex.Cardinality(q);
+  double estimate = est.EstimateCardinality(q);
+  ASSERT_GT(truth, 100);
+  EXPECT_LT(estimate, truth * 0.5);  // systematic underestimate
+}
+
+TEST(HistogramEstimatorTest, UpdateWithDataRefreshesStats) {
+  storage::datagen::DatabaseGenSpec spec =
+      storage::datagen::SyntheticPairSpec(5000, 20, 0.0, 0.0);
+  auto db = storage::datagen::Generate(spec, 8);
+  HistogramEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  double before = est.EstimateCardinality(q);
+  storage::datagen::AppendShifted(db.get(), spec, 1.0, 0.0, 0.0, 9);
+  ASSERT_TRUE(est.UpdateWithData(*db).ok());
+  double after = est.EstimateCardinality(q);
+  EXPECT_NEAR(after, 2 * before, before * 0.01);
+}
+
+TEST(MultiDimHistogramTest, CapturesCorrelationBetterThanIndependence) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(30000, 30, 0.0, 1.0), 10);
+  exec::Executor ex(db.get());
+  HistogramEstimator hist;
+  MultiDimHistogramEstimator multi;
+  ASSERT_TRUE(hist.Build(*db, {}).ok());
+  ASSERT_TRUE(multi.Build(*db, {}).ok());
+
+  workload::WorkloadOptions opts;
+  opts.max_joins = 0;
+  opts.min_predicates = 2;
+  opts.max_predicates = 2;
+  opts.equality_prob = 0.5;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  Rng rng(11);
+  auto test = gen.GenerateLabeled(120, &rng);
+  double hist_gmean = eval::EvaluateAccuracy(&hist, test).summary.geo_mean;
+  double multi_gmean = eval::EvaluateAccuracy(&multi, test).summary.geo_mean;
+  EXPECT_LT(multi_gmean, hist_gmean);
+}
+
+TEST(SamplingEstimatorTest, AccurateOnSingleTable) {
+  auto db = storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.2), 12);
+  SamplingEstimator::Options opts;
+  opts.rows_per_table = 4000;
+  SamplingEstimator est(opts);
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  workload::WorkloadOptions wopts;
+  wopts.max_joins = 0;
+  wopts.min_cardinality = 100;  // avoid the small-count variance regime
+  workload::WorkloadGenerator gen(db.get(), wopts);
+  Rng rng(13);
+  auto test = gen.GenerateLabeled(100, &rng);
+  auto report = eval::EvaluateAccuracy(&est, test);
+  EXPECT_LT(report.summary.p50, 2.0);
+}
+
+TEST(SamplingEstimatorTest, EstimateIsAtLeastOneTuple) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(5000, 1000, 0.0, 0.0), 14);
+  SamplingEstimator::Options opts;
+  opts.rows_per_table = 50;  // tiny sample -> zero hits on narrow ranges
+  SamplingEstimator est(opts);
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 1, 1}};
+  EXPECT_GE(est.EstimateCardinality(q), 1.0);
+}
+
+TEST(TraditionalEstimatorsTest, SizeBytesArePlausible) {
+  auto db = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.05), 15);
+  HistogramEstimator hist;
+  MultiDimHistogramEstimator multi;
+  SamplingEstimator sampling;
+  ASSERT_TRUE(hist.Build(*db, {}).ok());
+  ASSERT_TRUE(multi.Build(*db, {}).ok());
+  ASSERT_TRUE(sampling.Build(*db, {}).ok());
+  EXPECT_GT(hist.SizeBytes(), 0u);
+  EXPECT_GT(multi.SizeBytes(), hist.SizeBytes());  // grids dwarf 1-D stats
+  EXPECT_GT(sampling.SizeBytes(), 0u);
+  EXPECT_LT(sampling.SizeBytes(), db->SizeBytes());
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

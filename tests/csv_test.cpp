@@ -1,0 +1,104 @@
+#include "src/storage/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace storage {
+namespace {
+
+TEST(CsvTest, ParsesNumericTable) {
+  std::istringstream in("id,score\n1,10\n2,20\n3,30\n");
+  Dictionary dict;
+  CsvOptions opts;
+  opts.key_columns = {"id"};
+  auto result = ReadCsv(&in, "t", opts, &dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& t = result.value();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_TRUE(t.schema().columns[0].is_key);
+  EXPECT_FALSE(t.schema().columns[1].is_key);
+  EXPECT_EQ(t.column(1), (std::vector<Value>{10, 20, 30}));
+  EXPECT_TRUE(t.finalized());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(CsvTest, DictionaryEncodesStrings) {
+  std::istringstream in("genre,year\ndrama,1990\ncomedy,2000\ndrama,2010\n");
+  Dictionary dict;
+  auto result = ReadCsv(&in, "movies", CsvOptions{}, &dict);
+  ASSERT_TRUE(result.ok());
+  const Table& t = result.value();
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(t.column(0)[0], t.column(0)[2]);  // both "drama"
+  EXPECT_NE(t.column(0)[0], t.column(0)[1]);
+  ASSERT_TRUE(dict.Decode(t.column(0)[1]).ok());
+  EXPECT_EQ(dict.Decode(t.column(0)[1]).value(), "comedy");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::istringstream in("a,b\n1,2\n3\n");
+  Dictionary dict;
+  auto result = ReadCsv(&in, "t", CsvOptions{}, &dict);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::istringstream empty("");
+  Dictionary dict;
+  EXPECT_FALSE(ReadCsv(&empty, "t", CsvOptions{}, &dict).ok());
+  std::istringstream header_only("a,b\n");
+  EXPECT_FALSE(ReadCsv(&header_only, "t", CsvOptions{}, &dict).ok());
+}
+
+TEST(CsvTest, HeaderlessInputGetsSyntheticNames) {
+  std::istringstream in("1,2\n3,4\n");
+  Dictionary dict;
+  CsvOptions opts;
+  opts.has_header = false;
+  auto result = ReadCsv(&in, "t", opts, &dict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().schema().columns[0].name, "col0");
+  EXPECT_EQ(result.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  TableSchema schema{"t", {{"x", false}, {"y", false}}};
+  Table original(schema);
+  original.AppendColumns({{5, -3, 7}, {1, 2, 3}});
+  original.Finalize();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, &out).ok());
+  std::istringstream in(out.str());
+  Dictionary dict;
+  auto restored = ReadCsv(&in, "t", CsvOptions{}, &dict);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().column(0), original.column(0));
+  EXPECT_EQ(restored.value().column(1), original.column(1));
+  EXPECT_EQ(restored.value().schema().columns[0].name, "x");
+}
+
+TEST(CsvTest, AlternateDelimiter) {
+  std::istringstream in("a;b\n1;2\n");
+  Dictionary dict;
+  CsvOptions opts;
+  opts.delimiter = ';';
+  auto result = ReadCsv(&in, "t", opts, &dict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().column(1)[0], 2);
+}
+
+TEST(CsvTest, MissingFileReturnsNotFound) {
+  Dictionary dict;
+  auto result = ReadCsvFile("/nonexistent/file.csv", "t", CsvOptions{}, &dict);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace lce

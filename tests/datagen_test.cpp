@@ -1,0 +1,146 @@
+#include "src/storage/datagen.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace lce {
+namespace storage {
+namespace datagen {
+namespace {
+
+TEST(DatagenTest, DeterministicForSameSeed) {
+  auto spec = SyntheticPairSpec(2000, 50, 1.0, 0.5);
+  auto db1 = Generate(spec, 42);
+  auto db2 = Generate(spec, 42);
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_EQ(db1->table(0).column(c), db2->table(0).column(c));
+  }
+  auto db3 = Generate(spec, 43);
+  EXPECT_NE(db1->table(0).column(0), db3->table(0).column(0));
+}
+
+TEST(DatagenTest, KeysAreSequential) {
+  auto db = Generate(ImdbLikeSpec(0.1), 1);
+  const Table& title = *db->FindTable("title").value();
+  for (uint64_t r = 0; r < std::min<uint64_t>(100, title.num_rows()); ++r) {
+    EXPECT_EQ(title.column(0)[r], static_cast<Value>(r));
+  }
+}
+
+TEST(DatagenTest, ForeignKeysReferenceExistingRows) {
+  auto db = Generate(ImdbLikeSpec(0.1), 2);
+  const Table& title = *db->FindTable("title").value();
+  const Table& mc = *db->FindTable("movie_companies").value();
+  int fk = mc.schema().ColumnIndex("movie_id");
+  ASSERT_GE(fk, 0);
+  for (Value v : mc.column(fk)) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, static_cast<Value>(title.num_rows()));
+  }
+}
+
+TEST(DatagenTest, DomainRespected) {
+  auto spec = SyntheticPairSpec(5000, 37, 0.5, 0.0);
+  auto db = Generate(spec, 3);
+  for (int c = 0; c < 2; ++c) {
+    for (Value v : db->table(0).column(c)) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 37);
+    }
+  }
+}
+
+TEST(DatagenTest, CorrelationKnobControlsDependence) {
+  // Measure mutual predictability via the fraction of rows where b equals the
+  // deterministic mixing of a (only generated under correlation).
+  auto measure = [](double corr) {
+    auto db = Generate(SyntheticPairSpec(8000, 64, 0.0, corr), 7);
+    std::vector<double> a, b;
+    for (uint64_t r = 0; r < db->table(0).num_rows(); ++r) {
+      a.push_back(static_cast<double>(db->table(0).column(0)[r]));
+      b.push_back(static_cast<double>(db->table(0).column(1)[r]));
+    }
+    // Group b by a: dependence shows up as low within-group diversity.
+    std::unordered_map<int64_t, std::unordered_set<int64_t>> groups;
+    for (size_t i = 0; i < a.size(); ++i) {
+      groups[static_cast<int64_t>(a[i])].insert(static_cast<int64_t>(b[i]));
+    }
+    double avg_distinct = 0;
+    for (auto& [k, s] : groups) avg_distinct += static_cast<double>(s.size());
+    return avg_distinct / static_cast<double>(groups.size());
+  };
+  double indep = measure(0.0);
+  double mid = measure(0.5);
+  double full = measure(1.0);
+  EXPECT_GT(indep, mid);
+  EXPECT_GT(mid, full);
+  EXPECT_NEAR(full, 1.0, 0.01);  // functional dependency
+}
+
+TEST(DatagenTest, SkewKnobConcentratesMass) {
+  auto top_freq = [](double theta) {
+    auto db = Generate(SyntheticPairSpec(8000, 100, theta, 0.0), 11);
+    std::unordered_map<Value, int> freq;
+    for (Value v : db->table(0).column(0)) ++freq[v];
+    int best = 0;
+    for (auto& [k, n] : freq) best = std::max(best, n);
+    return best / 8000.0;
+  };
+  EXPECT_LT(top_freq(0.0), 0.05);
+  EXPECT_GT(top_freq(2.0), 0.4);
+}
+
+TEST(DatagenTest, AppendShiftedGrowsTablesAndKeepsKeysUnique) {
+  auto spec = TpchLikeSpec(0.05);
+  auto db = Generate(spec, 5);
+  uint64_t orders_before = db->FindTable("orders").value()->num_rows();
+  AppendShifted(db.get(), spec, 0.5, 0.5, 0.2, 99);
+  const Table& orders = *db->FindTable("orders").value();
+  EXPECT_NEAR(static_cast<double>(orders.num_rows()),
+              1.5 * static_cast<double>(orders_before), 2.0);
+  std::unordered_set<Value> keys(orders.column(0).begin(),
+                                 orders.column(0).end());
+  EXPECT_EQ(keys.size(), orders.num_rows());
+  EXPECT_TRUE(orders.finalized());
+}
+
+TEST(DatagenTest, AppendShiftedPreservesReferentialIntegrity) {
+  auto spec = StatsLikeSpec(0.05);
+  auto db = Generate(spec, 6);
+  AppendShifted(db.get(), spec, 0.4, 0.3, 0.1, 123);
+  const Table& users = *db->FindTable("users").value();
+  const Table& posts = *db->FindTable("posts").value();
+  int fk = posts.schema().ColumnIndex("p_owner_user_id");
+  for (Value v : posts.column(fk)) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, static_cast<Value>(users.num_rows()));
+  }
+}
+
+class StudyDatabasesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StudyDatabasesTest, GeneratesValidConnectedDatabase) {
+  auto specs = AllStudyDatabases(0.05);
+  const DatabaseGenSpec& spec = specs[GetParam()];
+  auto db = Generate(spec, 17);
+  EXPECT_EQ(db->name(), spec.name);
+  std::vector<int> all;
+  for (int t = 0; t < db->num_tables(); ++t) {
+    all.push_back(t);
+    EXPECT_GT(db->table(t).num_rows(), 0u);
+    EXPECT_TRUE(db->table(t).finalized());
+  }
+  EXPECT_TRUE(db->IsConnected(all));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFour, StudyDatabasesTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace datagen
+}  // namespace storage
+}  // namespace lce

@@ -1,0 +1,34 @@
+#include "src/ce/factory.h"
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace ce {
+namespace {
+
+TEST(FactoryTest, ConstructsEveryListedEstimator) {
+  for (const std::string& name : AllEstimatorNames()) {
+    auto est = MakeEstimator(name);
+    ASSERT_NE(est, nullptr) << name;
+    EXPECT_EQ(est->Name(), name);
+  }
+}
+
+TEST(FactoryTest, QueryDrivenNamesAreASubset) {
+  auto all = AllEstimatorNames();
+  for (const std::string& name : QueryDrivenNeuralNames()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+TEST(FactoryTest, UnknownNameDies) {
+  EXPECT_DEATH(MakeEstimator("NotAModel"), "unknown estimator");
+}
+
+TEST(FactoryTest, FifteenEstimatorsInTheZoo) {
+  EXPECT_EQ(AllEstimatorNames().size(), 15u);
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,159 @@
+#include "src/gbdt/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace lce {
+namespace gbdt {
+namespace {
+
+TEST(FeatureBinnerTest, TransformStaysInRange) {
+  std::vector<std::vector<float>> rows;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({static_cast<float>(rng.Uniform(-5, 5)),
+                    static_cast<float>(rng.Uniform(0, 100))});
+  }
+  FeatureBinner binner;
+  binner.Fit(rows, 16);
+  EXPECT_EQ(binner.num_features(), 2);
+  for (const auto& row : rows) {
+    auto bins = binner.Transform(row);
+    for (uint8_t b : bins) EXPECT_LT(b, 16);
+  }
+  // Out-of-range values clamp to the extreme bins.
+  auto low = binner.Transform({-1000.0f, -1000.0f});
+  auto high = binner.Transform({1000.0f, 1000.0f});
+  EXPECT_EQ(low[0], 0);
+  EXPECT_EQ(high[0], 15);
+}
+
+TEST(FeatureBinnerTest, QuantileBinsBalanceMass) {
+  std::vector<std::vector<float>> rows;
+  Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    rows.push_back({static_cast<float>(rng.Gaussian())});
+  }
+  FeatureBinner binner;
+  binner.Fit(rows, 8);
+  std::vector<int> counts(8, 0);
+  for (const auto& row : rows) ++counts[binner.Transform(row)[0]];
+  for (int c : counts) EXPECT_NEAR(c, 500, 150);
+}
+
+TEST(RegressionTreeTest, FitsStepFunctionExactly) {
+  // Target depends only on whether feature crosses the midpoint.
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  for (int i = 0; i < 400; ++i) {
+    float x = static_cast<float>(i) / 400.0f;
+    rows.push_back({x});
+    targets.push_back(x < 0.5f ? -1.0f : 2.0f);
+  }
+  FeatureBinner binner;
+  binner.Fit(rows, 32);
+  std::vector<std::vector<uint8_t>> binned;
+  for (const auto& row : rows) binned.push_back(binner.Transform(row));
+  RegressionTree tree;
+  tree.Fit(binned, targets, RegressionTree::Options{}, 32);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    // The single bin straddling the step boundary is allowed to be impure;
+    // everywhere else the tree must recover the step exactly.
+    if (std::abs(rows[i][0] - 0.5f) < 0.04f) continue;
+    EXPECT_NEAR(tree.Predict(binned[i]), targets[i], 0.05) << rows[i][0];
+  }
+}
+
+TEST(RegressionTreeTest, ConstantTargetYieldsSingleLeaf) {
+  std::vector<std::vector<float>> rows(50, {1.0f});
+  std::vector<float> targets(50, 3.5f);
+  FeatureBinner binner;
+  binner.Fit(rows, 8);
+  std::vector<std::vector<uint8_t>> binned;
+  for (const auto& row : rows) binned.push_back(binner.Transform(row));
+  RegressionTree tree;
+  tree.Fit(binned, targets, RegressionTree::Options{}, 8);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_FLOAT_EQ(tree.Predict(binned[0]), 3.5f);
+}
+
+double TrainMse(const GradientBoosting& model,
+                const std::vector<std::vector<float>>& rows,
+                const std::vector<float>& targets) {
+  double mse = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double diff = model.Predict(rows[i]) - targets[i];
+    mse += diff * diff;
+  }
+  return mse / static_cast<double>(rows.size());
+}
+
+TEST(GradientBoostingTest, BoostingReducesTrainingError) {
+  Rng rng(3);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  for (int i = 0; i < 1500; ++i) {
+    float a = static_cast<float>(rng.Uniform());
+    float b = static_cast<float>(rng.Uniform());
+    rows.push_back({a, b});
+    targets.push_back(std::sin(6 * a) + b * b);
+  }
+  GradientBoosting::Options few;
+  few.num_trees = 4;
+  GradientBoosting small(few);
+  small.Fit(rows, targets);
+
+  GradientBoosting::Options many;
+  many.num_trees = 80;
+  GradientBoosting large(many);
+  large.Fit(rows, targets);
+
+  EXPECT_LT(TrainMse(large, rows, targets), TrainMse(small, rows, targets));
+  EXPECT_LT(TrainMse(large, rows, targets), 0.01);
+}
+
+TEST(GradientBoostingTest, IncrementalBoostAdaptsToNewData) {
+  Rng rng(4);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  for (int i = 0; i < 800; ++i) {
+    float a = static_cast<float>(rng.Uniform());
+    rows.push_back({a});
+    targets.push_back(a);
+  }
+  GradientBoosting model;
+  model.Fit(rows, targets);
+  size_t trees_before = model.num_trees();
+
+  // New regime: target flipped.
+  std::vector<float> flipped;
+  for (float t : targets) flipped.push_back(1.0f - t);
+  double before = TrainMse(model, rows, flipped);
+  model.Boost(rows, flipped, 40);
+  double after = TrainMse(model, rows, flipped);
+  EXPECT_EQ(model.num_trees(), trees_before + 40);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(GradientBoostingTest, SizeGrowsWithTrees) {
+  Rng rng(5);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  for (int i = 0; i < 300; ++i) {
+    float a = static_cast<float>(rng.Uniform());
+    rows.push_back({a});
+    targets.push_back(a * 2);
+  }
+  GradientBoosting model;
+  model.Fit(rows, targets);
+  uint64_t size_before = model.SizeBytes();
+  model.Boost(rows, targets, 10);
+  EXPECT_GT(model.SizeBytes(), size_before);
+}
+
+}  // namespace
+}  // namespace gbdt
+}  // namespace lce

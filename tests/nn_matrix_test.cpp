@@ -1,0 +1,98 @@
+#include "src/nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace nn {
+namespace {
+
+Matrix Fill(int rows, int cols, std::vector<float> values) {
+  Matrix m(rows, cols);
+  m.data() = std::move(values);
+  return m;
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a = Fill(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = Fill(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedProductsAgreeWithExplicitTranspose) {
+  Rng rng(1);
+  Matrix a = Matrix::Randn(4, 3, 1.0f, &rng);
+  Matrix b = Matrix::Randn(4, 5, 1.0f, &rng);
+  // A^T * B via MatMulTransA must equal manual transpose.
+  Matrix at(3, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Matrix expected = MatMul(at, b);
+  Matrix got = MatMulTransA(a, b);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(got.At(i, j), expected.At(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulTransBMatchesDefinition) {
+  Rng rng(2);
+  Matrix a = Matrix::Randn(2, 3, 1.0f, &rng);
+  Matrix b = Matrix::Randn(4, 3, 1.0f, &rng);
+  Matrix got = MatMulTransB(a, b);  // 2x4
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      float dot = 0;
+      for (int k = 0; k < 3; ++k) dot += a.At(i, k) * b.At(j, k);
+      EXPECT_NEAR(got.At(i, j), dot, 1e-5);
+    }
+  }
+}
+
+TEST(MatrixTest, AddBiasRowBroadcasts) {
+  Matrix x = Fill(2, 2, {1, 2, 3, 4});
+  Matrix b = Fill(1, 2, {10, 20});
+  AddBiasRow(&x, b);
+  EXPECT_FLOAT_EQ(x.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(x.At(1, 1), 24);
+}
+
+TEST(MatrixTest, ColMeanAveragesRows) {
+  Matrix x = Fill(2, 3, {1, 2, 3, 3, 4, 5});
+  Matrix m = ColMean(x);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 3);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 4);
+}
+
+TEST(MatrixTest, ConcatColsLaysOutParts) {
+  Matrix a = Fill(2, 1, {1, 2});
+  Matrix b = Fill(2, 2, {3, 4, 5, 6});
+  Matrix c = ConcatCols({&a, &b});
+  ASSERT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 1);
+  EXPECT_FLOAT_EQ(c.At(0, 2), 4);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 5);
+}
+
+TEST(MatrixTest, StackRejectsRaggedInput) {
+  EXPECT_DEATH(Matrix::Stack({{1.0f, 2.0f}, {3.0f}}), "ragged");
+}
+
+TEST(MatrixTest, ScalarRequiresOneByOne) {
+  Matrix m = Fill(1, 1, {42});
+  EXPECT_FLOAT_EQ(m.Scalar(), 42);
+  Matrix wide = Fill(1, 2, {1, 2});
+  EXPECT_DEATH(wide.Scalar(), "");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace lce

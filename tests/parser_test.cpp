@@ -1,0 +1,148 @@
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace query {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.03), 1);
+  }
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(ParserTest, ParsesSingleTableQuery) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer WHERE customer.c_nationkey = 7;", *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Query& q = result.value();
+  EXPECT_EQ(q.tables, (std::vector<int>{0}));
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].lo, 7);
+  EXPECT_EQ(q.predicates[0].hi, 7);
+}
+
+TEST_F(ParserTest, ParsesJoinAndBetween) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer, orders "
+      "WHERE customer.c_custkey = orders.o_custkey "
+      "AND orders.o_orderdate BETWEEN 100 AND 500;",
+      *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Query& q = result.value();
+  EXPECT_EQ(q.tables.size(), 2u);
+  EXPECT_EQ(q.join_edges, (std::vector<int>{0}));
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].lo, 100);
+  EXPECT_EQ(q.predicates[0].hi, 500);
+}
+
+TEST_F(ParserTest, JoinConditionOrderInsensitive) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer, orders "
+      "WHERE orders.o_custkey = customer.c_custkey;",
+      *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().join_edges, (std::vector<int>{0}));
+}
+
+TEST_F(ParserTest, OpenRangesCloseAgainstColumnStats) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM orders WHERE orders.o_orderdate >= 1000 "
+      "AND orders.o_orderdate < 1200;",
+      *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().predicates.size(), 1u);
+  EXPECT_EQ(result.value().predicates[0].lo, 1000);
+  EXPECT_EQ(result.value().predicates[0].hi, 1199);
+}
+
+TEST_F(ParserTest, KeywordsAreCaseInsensitive) {
+  auto result = ParseSql(
+      "select count(*) from customer where customer.c_acctbal between 5 and "
+      "50;",
+      *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(ParserTest, RoundTripsToSqlOutput) {
+  workload::WorkloadOptions opts;
+  opts.max_joins = 3;
+  workload::WorkloadGenerator gen(db_.get(), opts);
+  exec::Executor ex(db_.get());
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    Query original = gen.GenerateQuery(&rng);
+    std::string sql = ToSql(original, db_->schema());
+    auto parsed = ParseSql(sql, *db_);
+    ASSERT_TRUE(parsed.ok()) << sql << " -> " << parsed.status().ToString();
+    // Semantics must match: identical true cardinalities.
+    EXPECT_DOUBLE_EQ(ex.Cardinality(parsed.value()), ex.Cardinality(original))
+        << sql;
+  }
+}
+
+TEST_F(ParserTest, RejectsUnknownTable) {
+  auto result = ParseSql("SELECT COUNT(*) FROM nope;", *db_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown table"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsUnknownColumn) {
+  auto result =
+      ParseSql("SELECT COUNT(*) FROM customer WHERE customer.zzz = 1;", *db_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown column"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, RejectsUndeclaredJoin) {
+  // customer and part are not adjacent in the join graph.
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer, part "
+      "WHERE customer.c_custkey = part.p_partkey;",
+      *db_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ParserTest, RejectsDisconnectedFromClause) {
+  auto result = ParseSql("SELECT COUNT(*) FROM customer, part;", *db_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ParserTest, RejectsContradictoryConstraints) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer WHERE customer.c_acctbal > 100 AND "
+      "customer.c_acctbal < 50;",
+      *db_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ParserTest, RejectsTrailingGarbage) {
+  auto result =
+      ParseSql("SELECT COUNT(*) FROM customer; GRANT ALL", *db_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ParserTest, MergesMultipleConstraintsOnOneColumn) {
+  auto result = ParseSql(
+      "SELECT COUNT(*) FROM customer WHERE customer.c_acctbal >= 10 AND "
+      "customer.c_acctbal <= 90 AND customer.c_acctbal >= 20;",
+      *db_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().predicates.size(), 1u);
+  EXPECT_EQ(result.value().predicates[0].lo, 20);
+  EXPECT_EQ(result.value().predicates[0].hi, 90);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace lce

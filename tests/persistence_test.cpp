@@ -1,0 +1,113 @@
+// Model persistence: trained query-driven estimators serialize their weights
+// and restore into a Prepare()d instance with identical behaviour.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/ce/query_driven/flat_models.h"
+#include "src/ce/query_driven/recurrent_models.h"
+#include "src/ce/query_driven/set_models.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::vector<query::LabeledQuery> train;
+  std::vector<query::LabeledQuery> test;
+};
+
+const Env& SharedEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    e->db = storage::datagen::Generate(storage::datagen::DmvLikeSpec(0.1), 3);
+    workload::WorkloadOptions opts;
+    opts.max_joins = 0;
+    workload::WorkloadGenerator gen(e->db.get(), opts);
+    Rng rng(4);
+    e->train = gen.GenerateLabeled(300, &rng);
+    e->test = gen.GenerateLabeled(30, &rng);
+    return e;
+  }();
+  return *env;
+}
+
+NeuralOptions SmallOptions() {
+  NeuralOptions o;
+  o.epochs = 5;
+  o.hidden_dim = 16;
+  return o;
+}
+
+template <typename Model>
+void RoundTrip() {
+  const Env& env = SharedEnv();
+  Model trained(SmallOptions());
+  ASSERT_TRUE(trained.Build(*env.db, env.train).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(trained.SaveModel(&buffer).ok());
+
+  Model restored(SmallOptions());
+  ASSERT_TRUE(restored.Prepare(*env.db).ok());
+  ASSERT_TRUE(restored.LoadModel(&buffer).ok());
+
+  for (const auto& lq : env.test) {
+    EXPECT_DOUBLE_EQ(restored.EstimateCardinality(lq.q),
+                     trained.EstimateCardinality(lq.q));
+  }
+}
+
+TEST(PersistenceTest, FcnRoundTrips) { RoundTrip<FcnEstimator>(); }
+TEST(PersistenceTest, LinearRoundTrips) { RoundTrip<LinearEstimator>(); }
+TEST(PersistenceTest, MscnRoundTrips) { RoundTrip<MscnEstimator>(); }
+TEST(PersistenceTest, FcnPoolRoundTrips) { RoundTrip<FcnPoolEstimator>(); }
+TEST(PersistenceTest, RnnRoundTrips) { RoundTrip<RnnEstimator>(); }
+TEST(PersistenceTest, LstmRoundTrips) { RoundTrip<LstmEstimator>(); }
+
+TEST(PersistenceTest, SaveWithoutBuildFails) {
+  FcnEstimator est(SmallOptions());
+  std::stringstream buffer;
+  EXPECT_FALSE(est.SaveModel(&buffer).ok());
+}
+
+TEST(PersistenceTest, LoadWithoutPrepareFails) {
+  FcnEstimator est(SmallOptions());
+  std::stringstream buffer;
+  EXPECT_FALSE(est.LoadModel(&buffer).ok());
+}
+
+TEST(PersistenceTest, LoadRejectsMismatchedArchitecture) {
+  const Env& env = SharedEnv();
+  FcnEstimator trained(SmallOptions());
+  ASSERT_TRUE(trained.Build(*env.db, env.train).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(trained.SaveModel(&buffer).ok());
+
+  NeuralOptions wider = SmallOptions();
+  wider.hidden_dim = 32;
+  FcnEstimator other(wider);
+  ASSERT_TRUE(other.Prepare(*env.db).ok());
+  EXPECT_FALSE(other.LoadModel(&buffer).ok());
+}
+
+TEST(PersistenceTest, LoadedModelSupportsFurtherUpdates) {
+  const Env& env = SharedEnv();
+  FcnEstimator trained(SmallOptions());
+  ASSERT_TRUE(trained.Build(*env.db, env.train).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(trained.SaveModel(&buffer).ok());
+
+  FcnEstimator restored(SmallOptions());
+  ASSERT_TRUE(restored.Prepare(*env.db).ok());
+  ASSERT_TRUE(restored.LoadModel(&buffer).ok());
+  EXPECT_TRUE(restored.UpdateWithQueries(env.test).ok());
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

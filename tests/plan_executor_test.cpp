@@ -1,0 +1,112 @@
+#include "src/exec/plan_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace exec {
+namespace {
+
+class PlanExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.04), 1);
+    analytic_ = std::make_unique<Executor>(db_.get());
+    planner_ = std::make_unique<opt::Planner>(db_.get(), opt::CostModel{});
+    physical_ = std::make_unique<PlanExecutor>(db_.get());
+  }
+
+  opt::Plan PlanFor(const query::Query& q) {
+    opt::CardFn cards = [&](const std::vector<int>& tables) {
+      return analytic_->SubsetCardinality(q, tables);
+    };
+    return planner_->BestPlan(q, cards);
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<Executor> analytic_;
+  std::unique_ptr<opt::Planner> planner_;
+  std::unique_ptr<PlanExecutor> physical_;
+};
+
+TEST_F(PlanExecutorTest, SingleTableScanCountsFilteredRows) {
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 1}, 0, 10}};
+  auto stats = physical_->Execute(q, PlanFor(q));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats.value().result, analytic_->Cardinality(q));
+  EXPECT_EQ(stats.value().tuples_scanned, db_->table(0).num_rows());
+  EXPECT_EQ(stats.value().tuples_built, 0u);
+}
+
+TEST_F(PlanExecutorTest, ExecutedJoinCountMatchesAnalyticOracle) {
+  workload::WorkloadOptions opts;
+  opts.max_joins = 3;
+  workload::WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(2);
+  int executed = 0;
+  for (const auto& lq : gen.GenerateLabeled(40, &rng)) {
+    auto stats = physical_->Execute(lq.q, PlanFor(lq.q));
+    ASSERT_TRUE(stats.ok()) << query::ToSql(lq.q, db_->schema());
+    EXPECT_DOUBLE_EQ(stats.value().result, lq.cardinality)
+        << query::ToSql(lq.q, db_->schema());
+    ++executed;
+  }
+  EXPECT_EQ(executed, 40);
+}
+
+TEST_F(PlanExecutorTest, ExecutedCountIsPlanShapeInvariant) {
+  // The answer must not depend on which (valid) plan executes the query.
+  query::Query q;
+  q.tables = {0, 3, 4};  // customer ⋈ orders ⋈ lineitem
+  q.join_edges = {0, 1};
+  q.predicates = {{{0, 1}, 0, 10}};
+  opt::CardFn cards = [&](const std::vector<int>& tables) {
+    return analytic_->SubsetCardinality(q, tables);
+  };
+  opt::Plan dp = planner_->BestPlan(q, cards);
+  opt::Plan greedy = planner_->GreedyPlan(q, cards);
+  auto a = physical_->Execute(q, dp);
+  auto b = physical_->Execute(q, greedy);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().result, b.value().result);
+}
+
+TEST_F(PlanExecutorTest, WorkStatisticsAreCoherent) {
+  query::Query q;
+  q.tables = {0, 3};
+  q.join_edges = {0};
+  auto stats = physical_->Execute(q, PlanFor(q));
+  ASSERT_TRUE(stats.ok());
+  const ExecStats& s = stats.value();
+  EXPECT_EQ(s.tuples_scanned,
+            db_->table(0).num_rows() + db_->table(3).num_rows());
+  // Build side is the smaller filtered input.
+  EXPECT_LE(s.tuples_built, std::max(db_->table(0).num_rows(),
+                                     db_->table(3).num_rows()));
+  EXPECT_GE(s.tuples_output, static_cast<uint64_t>(s.result));
+  EXPECT_GE(s.peak_intermediate, static_cast<uint64_t>(s.result));
+  EXPECT_EQ(s.TotalWork(),
+            s.tuples_scanned + s.tuples_built + s.tuples_probed +
+                s.tuples_output);
+}
+
+TEST_F(PlanExecutorTest, BudgetGuardAbortsExplodingPlans) {
+  query::Query q;
+  q.tables = {0, 3, 4};
+  q.join_edges = {0, 1};
+  PlanExecutor::Options opts;
+  opts.max_intermediate_tuples = 10;  // absurdly small on purpose
+  PlanExecutor tiny(db_.get(), opts);
+  auto stats = tiny.Execute(q, PlanFor(q));
+  EXPECT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace lce

@@ -1,0 +1,76 @@
+#include "src/workload/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace workload {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.03), 1);
+  }
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(TraceTest, SaveLoadRoundTripsQueriesAndLabels) {
+  WorkloadOptions opts;
+  opts.max_joins = 2;
+  WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(2);
+  auto workload = gen.GenerateLabeled(25, &rng);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrace(workload, db_->schema(), &buffer).ok());
+  auto loaded = LoadTrace(&buffer, *db_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), workload.size());
+  exec::Executor ex(db_.get());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.value()[i].cardinality, workload[i].cardinality);
+    // Loaded queries must be semantically identical.
+    EXPECT_DOUBLE_EQ(ex.Cardinality(loaded.value()[i].q),
+                     ex.Cardinality(workload[i].q));
+  }
+}
+
+TEST_F(TraceTest, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# a comment\n"
+      "\n"
+      "42\tSELECT COUNT(*) FROM customer;\n");
+  auto loaded = LoadTrace(&in, *db_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.value()[0].cardinality, 42.0);
+}
+
+TEST_F(TraceTest, ReportsLineNumberOnBadSql) {
+  std::stringstream in(
+      "1\tSELECT COUNT(*) FROM customer;\n"
+      "2\tSELECT COUNT(*) FROM nonsense;\n");
+  auto loaded = LoadTrace(&in, *db_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(TraceTest, RejectsMissingSeparator) {
+  std::stringstream in("notacount SELECT COUNT(*) FROM customer;\n");
+  EXPECT_FALSE(LoadTrace(&in, *db_).ok());
+}
+
+TEST_F(TraceTest, MissingFileIsNotFound) {
+  auto loaded = LoadTraceFile("/does/not/exist.trace", *db_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace lce

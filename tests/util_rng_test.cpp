@@ -1,0 +1,167 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(5);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(8);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  EXPECT_NE(v, original);  // vanishingly unlikely to be identity
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(12);
+  Rng child = a.Fork();
+  // The child must not replay the parent's stream.
+  Rng b(12);
+  b.Fork();
+  EXPECT_EQ(a.NextU32(), b.NextU32());  // parents stay in sync
+  int same = 0;
+  Rng a2(12);
+  Rng child2 = a2.Fork();
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextU32() != child2.NextU32()) ++same;
+  }
+  EXPECT_EQ(same, 0);  // forking is deterministic too
+}
+
+struct ZipfCase {
+  double theta;
+  uint64_t n;
+};
+
+class ZipfTest : public ::testing::TestWithParam<ZipfCase> {};
+
+TEST_P(ZipfTest, SamplesStayInDomain) {
+  Rng rng(13);
+  ZipfSampler zipf(GetParam().n, GetParam().theta);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), GetParam().n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, ZipfTest,
+    ::testing::Values(ZipfCase{0.0, 1}, ZipfCase{0.0, 10},
+                      ZipfCase{0.5, 100}, ZipfCase{1.0, 1000},
+                      ZipfCase{1.5, 17}, ZipfCase{2.0, 100000}));
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  Rng rng(14);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c / 20000.0, 0.1, 0.02);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng(15);
+  auto top_fraction = [&](double theta) {
+    ZipfSampler zipf(100, theta);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (zipf.Sample(&rng) == 0) ++hits;
+    }
+    return hits / 20000.0;
+  };
+  double f0 = top_fraction(0.0);
+  double f1 = top_fraction(1.0);
+  double f2 = top_fraction(2.0);
+  EXPECT_LT(f0, f1);
+  EXPECT_LT(f1, f2);
+  EXPECT_GT(f2, 0.5);  // theta=2 concentrates most mass on the head
+}
+
+}  // namespace
+}  // namespace lce

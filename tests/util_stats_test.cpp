@@ -1,0 +1,75 @@
+#include "src/util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 4.6);
+}
+
+TEST(StatsTest, PercentileHandlesDegenerateSamples) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 99), 7.5);
+}
+
+TEST(StatsTest, MeanAndGeometricMean) {
+  EXPECT_DOUBLE_EQ(Mean({2, 4, 6}), 4);
+  EXPECT_NEAR(GeometricMean({1, 100}), 10, 1e-9);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+}
+
+TEST(StatsTest, StdDevSampleFormula) {
+  EXPECT_DOUBLE_EQ(StdDev({2, 4}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0);
+}
+
+TEST(StatsTest, SummarizeMatchesComponents) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  SampleSummary s = Summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+}
+
+TEST(StatsTest, JsdIdenticalDistributionsIsZero) {
+  EXPECT_NEAR(JensenShannonDivergence({1, 2, 3}, {2, 4, 6}), 0, 1e-12);
+}
+
+TEST(StatsTest, JsdIsSymmetricAndBounded) {
+  std::vector<double> p = {0.9, 0.1, 0.0};
+  std::vector<double> q = {0.1, 0.2, 0.7};
+  double pq = JensenShannonDivergence(p, q);
+  double qp = JensenShannonDivergence(q, p);
+  EXPECT_NEAR(pq, qp, 1e-12);
+  EXPECT_GT(pq, 0);
+  EXPECT_LE(pq, std::log(2.0) + 1e-12);
+}
+
+TEST(StatsTest, JsdDisjointSupportHitsMaximum) {
+  EXPECT_NEAR(JensenShannonDivergence({1, 0}, {0, 1}), std::log(2.0), 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelationEndpoints) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y_pos = {2, 4, 6, 8};
+  std::vector<double> y_neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y_pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, y_neg), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, {5, 5, 5, 5}), 0);
+}
+
+}  // namespace
+}  // namespace lce

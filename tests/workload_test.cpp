@@ -1,0 +1,178 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/storage/datagen.h"
+
+namespace lce {
+namespace workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = storage::datagen::Generate(storage::datagen::TpchLikeSpec(0.05), 1);
+  }
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(WorkloadTest, GeneratedQueriesAreValid) {
+  WorkloadOptions opts;
+  opts.max_joins = 3;
+  WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    query::Query q = gen.GenerateQuery(&rng);
+    EXPECT_TRUE(query::Validate(q, *db_).ok())
+        << query::ToSql(q, db_->schema());
+  }
+}
+
+TEST_F(WorkloadTest, LabeledQueriesMatchExecutor) {
+  WorkloadGenerator gen(db_.get(), WorkloadOptions{});
+  Rng rng(3);
+  auto labeled = gen.GenerateLabeled(30, &rng);
+  exec::Executor ex(db_.get());
+  for (const auto& lq : labeled) {
+    EXPECT_DOUBLE_EQ(lq.cardinality, ex.Cardinality(lq.q));
+    EXPECT_GE(lq.cardinality, 1.0);  // min_cardinality default
+  }
+}
+
+TEST_F(WorkloadTest, MaxJoinsZeroYieldsSingleTableQueries) {
+  WorkloadOptions opts;
+  opts.max_joins = 0;
+  WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(gen.GenerateQuery(&rng).tables.size(), 1u);
+  }
+}
+
+TEST_F(WorkloadTest, PredicateCountRespectsBounds) {
+  WorkloadOptions opts;
+  opts.min_predicates = 2;
+  opts.max_predicates = 3;
+  opts.max_joins = 1;
+  WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    query::Query q = gen.GenerateQuery(&rng);
+    // The requested minimum is capped by the available non-key columns of
+    // the chosen tables (e.g. supplier has a single non-key attribute).
+    size_t available = 0;
+    for (int t : q.tables) {
+      for (const auto& col : db_->schema().tables[t].columns) {
+        if (!col.is_key) ++available;
+      }
+    }
+    EXPECT_GE(q.predicates.size(), std::min<size_t>(2, available));
+    EXPECT_LE(q.predicates.size(), 3u);
+  }
+}
+
+TEST_F(WorkloadTest, PredicatesNeverTouchKeyColumns) {
+  WorkloadGenerator gen(db_.get(), WorkloadOptions{});
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    query::Query q = gen.GenerateQuery(&rng);
+    for (const auto& p : q.predicates) {
+      EXPECT_FALSE(
+          db_->schema().tables[p.col.table].columns[p.col.column].is_key);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, TemplateWhitelistIsRespected) {
+  WorkloadOptions opts;
+  opts.template_whitelist = {{0, 3}};  // customer ⋈ orders
+  opts.max_joins = 3;
+  WorkloadGenerator gen(db_.get(), opts);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    query::Query q = gen.GenerateQuery(&rng);
+    EXPECT_EQ(q.tables, (std::vector<int>{0, 3}));
+  }
+}
+
+TEST_F(WorkloadTest, EnumerateTemplatesOnTpchTree) {
+  // TPC-H-like join tree: customer-orders-lineitem, part-lineitem,
+  // supplier-lineitem. Connected subsets of size <= 2:
+  // 5 singletons + 4 edges = 9.
+  WorkloadOptions opts;
+  opts.max_joins = 1;
+  WorkloadGenerator gen(db_.get(), opts);
+  EXPECT_EQ(gen.EnumerateTemplates().size(), 9u);
+
+  // All sizes: subsets of a 5-node tree that are connected.
+  WorkloadOptions all;
+  all.max_joins = 4;
+  WorkloadGenerator gen_all(db_.get(), all);
+  auto templates = gen_all.EnumerateTemplates();
+  for (const auto& tmpl : templates) {
+    EXPECT_TRUE(db_->IsConnected(tmpl));
+  }
+  // Every template unique.
+  std::set<std::vector<int>> unique(templates.begin(), templates.end());
+  EXPECT_EQ(unique.size(), templates.size());
+}
+
+TEST_F(WorkloadTest, TemplateEdgesSpanTheTemplate) {
+  WorkloadOptions opts;
+  opts.max_joins = 4;
+  WorkloadGenerator gen(db_.get(), opts);
+  for (const auto& tmpl : gen.EnumerateTemplates()) {
+    if (tmpl.size() < 2) continue;
+    EXPECT_EQ(gen.TemplateEdges(tmpl).size(), tmpl.size() - 1);
+  }
+}
+
+TEST_F(WorkloadTest, CenterRegionShiftsPredicateDistribution) {
+  // Centers drawn from disjoint value-quantile ranges must shift the
+  // predicate-center distribution toward low/high values.
+  WorkloadOptions lo_opts;
+  lo_opts.max_joins = 0;
+  lo_opts.center_lo = 0.0;
+  lo_opts.center_hi = 0.3;
+  WorkloadOptions hi_opts = lo_opts;
+  hi_opts.center_lo = 0.7;
+  hi_opts.center_hi = 1.0;
+  WorkloadGenerator lo_gen(db_.get(), lo_opts);
+  WorkloadGenerator hi_gen(db_.get(), hi_opts);
+  Rng rng1(8), rng2(8);
+  double lo_sum = 0, hi_sum = 0;
+  int lo_n = 0, hi_n = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& p : lo_gen.GenerateQuery(&rng1).predicates) {
+      lo_sum += static_cast<double>(p.lo);
+      ++lo_n;
+    }
+    for (const auto& p : hi_gen.GenerateQuery(&rng2).predicates) {
+      hi_sum += static_cast<double>(p.lo);
+      ++hi_n;
+    }
+  }
+  ASSERT_GT(lo_n, 0);
+  ASSERT_GT(hi_n, 0);
+  EXPECT_LT(lo_sum / lo_n, hi_sum / hi_n);
+}
+
+TEST_F(WorkloadTest, DeterministicAcrossRuns) {
+  WorkloadGenerator gen(db_.get(), WorkloadOptions{});
+  Rng rng1(42), rng2(42);
+  auto a = gen.GenerateLabeled(10, &rng1);
+  auto b = gen.GenerateLabeled(10, &rng2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(query::ToSql(a[i].q, db_->schema()),
+              query::ToSql(b[i].q, db_->schema()));
+    EXPECT_DOUBLE_EQ(a[i].cardinality, b[i].cardinality);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace lce

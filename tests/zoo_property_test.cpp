@@ -1,0 +1,110 @@
+// Zoo-wide invariants: every estimator, on every study database shape, must
+// produce finite estimates >= 1 bounded by the join-size upper bound, report
+// a positive footprint, and behave deterministically for a fixed seed.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ce/factory.h"
+#include "src/storage/datagen.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+struct ZooCase {
+  std::string estimator;
+  int db_index;  // 0 = DMV-like (single table), 1 = TPC-H-like (snowflake)
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ZooCase>& info) {
+  std::string name = info.param.estimator +
+                     (info.param.db_index == 0 ? "_dmv" : "_tpch");
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::vector<query::LabeledQuery> train;
+  std::vector<query::LabeledQuery> test;
+  double join_upper_bound = 1;
+};
+
+const Env& GetEnv(int index) {
+  static Env* envs[2] = {nullptr, nullptr};
+  if (envs[index] == nullptr) {
+    auto* e = new Env();
+    e->db = storage::datagen::Generate(
+        index == 0
+            ? storage::datagen::DmvLikeSpec(0.08)
+            : storage::datagen::TpchLikeSpec(0.04),
+        31 + index);
+    workload::WorkloadOptions opts;
+    opts.max_joins = index == 0 ? 0 : 2;
+    workload::WorkloadGenerator gen(e->db.get(), opts);
+    Rng rng(32);
+    e->train = gen.GenerateLabeled(250, &rng);
+    e->test = gen.GenerateLabeled(40, &rng);
+    // Matches the label normalizer: log(prod(rows + 1)) is the ceiling a
+    // saturated sigmoid model can emit.
+    e->join_upper_bound = 1;
+    for (int t = 0; t < e->db->num_tables(); ++t) {
+      e->join_upper_bound *=
+          static_cast<double>(e->db->table(t).num_rows()) + 1.0;
+    }
+    envs[index] = e;
+  }
+  return *envs[index];
+}
+
+NeuralOptions Fast() {
+  NeuralOptions o;
+  o.epochs = 4;
+  o.hidden_dim = 16;
+  return o;
+}
+
+class ZooPropertyTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooPropertyTest, EstimatesAreSaneAndDeterministic) {
+  const Env& env = GetEnv(GetParam().db_index);
+  auto a = MakeEstimator(GetParam().estimator, Fast(), 11);
+  auto b = MakeEstimator(GetParam().estimator, Fast(), 11);
+  ASSERT_TRUE(a->Build(*env.db, env.train).ok()) << GetParam().estimator;
+  ASSERT_TRUE(b->Build(*env.db, env.train).ok());
+  for (const auto& lq : env.test) {
+    double ea = a->EstimateCardinality(lq.q);
+    EXPECT_TRUE(std::isfinite(ea));
+    EXPECT_GE(ea, 1.0);
+    EXPECT_LE(ea, env.join_upper_bound * (1 + 1e-9));
+    // Same seed, same training, same query -> identical estimate. The only
+    // exception would be wall-clock dependence, which no estimator has.
+    EXPECT_DOUBLE_EQ(ea, b->EstimateCardinality(lq.q))
+        << GetParam().estimator;
+  }
+  // Wander Join on a join-free schema legitimately stores no indexes.
+  if (!(GetParam().estimator == "WanderJoin" && GetParam().db_index == 0)) {
+    EXPECT_GT(a->SizeBytes(), 0u);
+  }
+}
+
+std::vector<ZooCase> AllCases() {
+  std::vector<ZooCase> cases;
+  for (const std::string& name : AllEstimatorNames()) {
+    cases.push_back({name, 0});
+    cases.push_back({name, 1});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryEstimatorEveryShape, ZooPropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce
