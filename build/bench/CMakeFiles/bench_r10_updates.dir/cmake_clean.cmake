@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r10_updates.dir/bench_r10_updates.cpp.o"
+  "CMakeFiles/bench_r10_updates.dir/bench_r10_updates.cpp.o.d"
+  "bench_r10_updates"
+  "bench_r10_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r10_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r12_encoding.dir/bench_r12_encoding.cpp.o"
+  "CMakeFiles/bench_r12_encoding.dir/bench_r12_encoding.cpp.o.d"
+  "bench_r12_encoding"
+  "bench_r12_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r12_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

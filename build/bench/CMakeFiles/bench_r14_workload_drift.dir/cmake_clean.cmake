@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r14_workload_drift.dir/bench_r14_workload_drift.cpp.o"
+  "CMakeFiles/bench_r14_workload_drift.dir/bench_r14_workload_drift.cpp.o.d"
+  "bench_r14_workload_drift"
+  "bench_r14_workload_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r14_workload_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

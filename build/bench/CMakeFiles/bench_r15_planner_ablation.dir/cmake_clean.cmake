@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r15_planner_ablation.dir/bench_r15_planner_ablation.cpp.o"
+  "CMakeFiles/bench_r15_planner_ablation.dir/bench_r15_planner_ablation.cpp.o.d"
+  "bench_r15_planner_ablation"
+  "bench_r15_planner_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r15_planner_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

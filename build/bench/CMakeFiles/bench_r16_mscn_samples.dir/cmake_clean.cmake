@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r16_mscn_samples.dir/bench_r16_mscn_samples.cpp.o"
+  "CMakeFiles/bench_r16_mscn_samples.dir/bench_r16_mscn_samples.cpp.o.d"
+  "bench_r16_mscn_samples"
+  "bench_r16_mscn_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r16_mscn_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

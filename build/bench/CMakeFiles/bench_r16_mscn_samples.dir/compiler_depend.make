@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_r16_mscn_samples.
+# This may be replaced when dependencies are built.

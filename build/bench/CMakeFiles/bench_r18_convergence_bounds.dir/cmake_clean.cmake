@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r18_convergence_bounds.dir/bench_r18_convergence_bounds.cpp.o"
+  "CMakeFiles/bench_r18_convergence_bounds.dir/bench_r18_convergence_bounds.cpp.o.d"
+  "bench_r18_convergence_bounds"
+  "bench_r18_convergence_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r18_convergence_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

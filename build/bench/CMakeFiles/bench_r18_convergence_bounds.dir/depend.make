@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r18_convergence_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r19_join_handling.dir/bench_r19_join_handling.cpp.o"
+  "CMakeFiles/bench_r19_join_handling.dir/bench_r19_join_handling.cpp.o.d"
+  "bench_r19_join_handling"
+  "bench_r19_join_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r19_join_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

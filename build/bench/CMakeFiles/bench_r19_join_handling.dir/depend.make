@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r19_join_handling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r2_costs.dir/bench_r2_costs.cpp.o"
+  "CMakeFiles/bench_r2_costs.dir/bench_r2_costs.cpp.o.d"
+  "bench_r2_costs"
+  "bench_r2_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r2_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

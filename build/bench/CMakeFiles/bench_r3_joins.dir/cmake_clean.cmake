@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r3_joins.dir/bench_r3_joins.cpp.o"
+  "CMakeFiles/bench_r3_joins.dir/bench_r3_joins.cpp.o.d"
+  "bench_r3_joins"
+  "bench_r3_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r3_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r4_correlation.dir/bench_r4_correlation.cpp.o"
+  "CMakeFiles/bench_r4_correlation.dir/bench_r4_correlation.cpp.o.d"
+  "bench_r4_correlation"
+  "bench_r4_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r4_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

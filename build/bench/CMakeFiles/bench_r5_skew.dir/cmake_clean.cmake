@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r5_skew.dir/bench_r5_skew.cpp.o"
+  "CMakeFiles/bench_r5_skew.dir/bench_r5_skew.cpp.o.d"
+  "bench_r5_skew"
+  "bench_r5_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r5_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r6_domain.dir/bench_r6_domain.cpp.o"
+  "CMakeFiles/bench_r6_domain.dir/bench_r6_domain.cpp.o.d"
+  "bench_r6_domain"
+  "bench_r6_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r6_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

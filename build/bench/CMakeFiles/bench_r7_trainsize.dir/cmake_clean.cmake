@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r7_trainsize.dir/bench_r7_trainsize.cpp.o"
+  "CMakeFiles/bench_r7_trainsize.dir/bench_r7_trainsize.cpp.o.d"
+  "bench_r7_trainsize"
+  "bench_r7_trainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r7_trainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

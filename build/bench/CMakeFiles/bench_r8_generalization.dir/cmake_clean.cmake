@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r8_generalization.dir/bench_r8_generalization.cpp.o"
+  "CMakeFiles/bench_r8_generalization.dir/bench_r8_generalization.cpp.o.d"
+  "bench_r8_generalization"
+  "bench_r8_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r8_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

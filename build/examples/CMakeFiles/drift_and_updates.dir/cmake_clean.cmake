@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_and_updates.dir/drift_and_updates.cpp.o"
+  "CMakeFiles/drift_and_updates.dir/drift_and_updates.cpp.o.d"
+  "drift_and_updates"
+  "drift_and_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_and_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

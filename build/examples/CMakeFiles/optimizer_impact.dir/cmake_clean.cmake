@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_impact.dir/optimizer_impact.cpp.o"
+  "CMakeFiles/optimizer_impact.dir/optimizer_impact.cpp.o.d"
+  "optimizer_impact"
+  "optimizer_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ce/bounded.cpp" "src/CMakeFiles/lce.dir/ce/bounded.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/bounded.cpp.o.d"
+  "/root/repo/src/ce/data_driven/bayesnet.cpp" "src/CMakeFiles/lce.dir/ce/data_driven/bayesnet.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/data_driven/bayesnet.cpp.o.d"
+  "/root/repo/src/ce/data_driven/binning.cpp" "src/CMakeFiles/lce.dir/ce/data_driven/binning.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/data_driven/binning.cpp.o.d"
+  "/root/repo/src/ce/data_driven/naru.cpp" "src/CMakeFiles/lce.dir/ce/data_driven/naru.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/data_driven/naru.cpp.o.d"
+  "/root/repo/src/ce/data_driven/spn.cpp" "src/CMakeFiles/lce.dir/ce/data_driven/spn.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/data_driven/spn.cpp.o.d"
+  "/root/repo/src/ce/edge_selectivity.cpp" "src/CMakeFiles/lce.dir/ce/edge_selectivity.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/edge_selectivity.cpp.o.d"
+  "/root/repo/src/ce/factory.cpp" "src/CMakeFiles/lce.dir/ce/factory.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/factory.cpp.o.d"
+  "/root/repo/src/ce/query_driven/flat_models.cpp" "src/CMakeFiles/lce.dir/ce/query_driven/flat_models.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/query_driven/flat_models.cpp.o.d"
+  "/root/repo/src/ce/query_driven/lwxgb_model.cpp" "src/CMakeFiles/lce.dir/ce/query_driven/lwxgb_model.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/query_driven/lwxgb_model.cpp.o.d"
+  "/root/repo/src/ce/query_driven/neural_base.cpp" "src/CMakeFiles/lce.dir/ce/query_driven/neural_base.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/query_driven/neural_base.cpp.o.d"
+  "/root/repo/src/ce/query_driven/set_models.cpp" "src/CMakeFiles/lce.dir/ce/query_driven/set_models.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/query_driven/set_models.cpp.o.d"
+  "/root/repo/src/ce/traditional/histogram.cpp" "src/CMakeFiles/lce.dir/ce/traditional/histogram.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/traditional/histogram.cpp.o.d"
+  "/root/repo/src/ce/traditional/kde.cpp" "src/CMakeFiles/lce.dir/ce/traditional/kde.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/traditional/kde.cpp.o.d"
+  "/root/repo/src/ce/traditional/multidim_histogram.cpp" "src/CMakeFiles/lce.dir/ce/traditional/multidim_histogram.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/traditional/multidim_histogram.cpp.o.d"
+  "/root/repo/src/ce/traditional/sampling.cpp" "src/CMakeFiles/lce.dir/ce/traditional/sampling.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/traditional/sampling.cpp.o.d"
+  "/root/repo/src/ce/traditional/wander_join.cpp" "src/CMakeFiles/lce.dir/ce/traditional/wander_join.cpp.o" "gcc" "src/CMakeFiles/lce.dir/ce/traditional/wander_join.cpp.o.d"
+  "/root/repo/src/eval/e2e.cpp" "src/CMakeFiles/lce.dir/eval/e2e.cpp.o" "gcc" "src/CMakeFiles/lce.dir/eval/e2e.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/lce.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/lce.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/lce.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/lce.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/hash_index.cpp" "src/CMakeFiles/lce.dir/exec/hash_index.cpp.o" "gcc" "src/CMakeFiles/lce.dir/exec/hash_index.cpp.o.d"
+  "/root/repo/src/exec/plan_executor.cpp" "src/CMakeFiles/lce.dir/exec/plan_executor.cpp.o" "gcc" "src/CMakeFiles/lce.dir/exec/plan_executor.cpp.o.d"
+  "/root/repo/src/gbdt/gbdt.cpp" "src/CMakeFiles/lce.dir/gbdt/gbdt.cpp.o" "gcc" "src/CMakeFiles/lce.dir/gbdt/gbdt.cpp.o.d"
+  "/root/repo/src/gbdt/tree.cpp" "src/CMakeFiles/lce.dir/gbdt/tree.cpp.o" "gcc" "src/CMakeFiles/lce.dir/gbdt/tree.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/lce.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/lce.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/CMakeFiles/lce.dir/nn/matrix.cpp.o" "gcc" "src/CMakeFiles/lce.dir/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/lce.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/lce.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/recurrent.cpp" "src/CMakeFiles/lce.dir/nn/recurrent.cpp.o" "gcc" "src/CMakeFiles/lce.dir/nn/recurrent.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/lce.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/lce.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/optimizer/planner.cpp" "src/CMakeFiles/lce.dir/optimizer/planner.cpp.o" "gcc" "src/CMakeFiles/lce.dir/optimizer/planner.cpp.o.d"
+  "/root/repo/src/query/encoder.cpp" "src/CMakeFiles/lce.dir/query/encoder.cpp.o" "gcc" "src/CMakeFiles/lce.dir/query/encoder.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/CMakeFiles/lce.dir/query/parser.cpp.o" "gcc" "src/CMakeFiles/lce.dir/query/parser.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/CMakeFiles/lce.dir/query/query.cpp.o" "gcc" "src/CMakeFiles/lce.dir/query/query.cpp.o.d"
+  "/root/repo/src/storage/csv.cpp" "src/CMakeFiles/lce.dir/storage/csv.cpp.o" "gcc" "src/CMakeFiles/lce.dir/storage/csv.cpp.o.d"
+  "/root/repo/src/storage/database.cpp" "src/CMakeFiles/lce.dir/storage/database.cpp.o" "gcc" "src/CMakeFiles/lce.dir/storage/database.cpp.o.d"
+  "/root/repo/src/storage/datagen.cpp" "src/CMakeFiles/lce.dir/storage/datagen.cpp.o" "gcc" "src/CMakeFiles/lce.dir/storage/datagen.cpp.o.d"
+  "/root/repo/src/storage/dictionary.cpp" "src/CMakeFiles/lce.dir/storage/dictionary.cpp.o" "gcc" "src/CMakeFiles/lce.dir/storage/dictionary.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/lce.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/lce.dir/storage/table.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/lce.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/lce.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "src/CMakeFiles/lce.dir/util/table_printer.cpp.o" "gcc" "src/CMakeFiles/lce.dir/util/table_printer.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/lce.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/lce.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/lce.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/lce.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

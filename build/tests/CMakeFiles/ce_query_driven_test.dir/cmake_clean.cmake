@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_query_driven_test.dir/ce_query_driven_test.cpp.o"
+  "CMakeFiles/ce_query_driven_test.dir/ce_query_driven_test.cpp.o.d"
+  "ce_query_driven_test"
+  "ce_query_driven_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_query_driven_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

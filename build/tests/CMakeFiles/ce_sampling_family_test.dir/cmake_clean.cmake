@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_sampling_family_test.dir/ce_sampling_family_test.cpp.o"
+  "CMakeFiles/ce_sampling_family_test.dir/ce_sampling_family_test.cpp.o.d"
+  "ce_sampling_family_test"
+  "ce_sampling_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_sampling_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ce_traditional_test.dir/ce_traditional_test.cpp.o"
+  "CMakeFiles/ce_traditional_test.dir/ce_traditional_test.cpp.o.d"
+  "ce_traditional_test"
+  "ce_traditional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ce_traditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

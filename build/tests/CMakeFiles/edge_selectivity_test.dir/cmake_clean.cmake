@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_selectivity_test.dir/edge_selectivity_test.cpp.o"
+  "CMakeFiles/edge_selectivity_test.dir/edge_selectivity_test.cpp.o.d"
+  "edge_selectivity_test"
+  "edge_selectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_selectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_test.dir/factory_test.cpp.o"
+  "CMakeFiles/factory_test.dir/factory_test.cpp.o.d"
+  "factory_test"
+  "factory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_planner_test.dir/greedy_planner_test.cpp.o"
+  "CMakeFiles/greedy_planner_test.dir/greedy_planner_test.cpp.o.d"
+  "greedy_planner_test"
+  "greedy_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_property_test.dir/zoo_property_test.cpp.o"
+  "CMakeFiles/zoo_property_test.dir/zoo_property_test.cpp.o.d"
+  "zoo_property_test"
+  "zoo_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
