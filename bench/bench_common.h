@@ -16,6 +16,7 @@
 #include "src/eval/metrics.h"
 #include "src/exec/executor.h"
 #include "src/storage/datagen.h"
+#include "src/util/parallel.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
 #include "src/workload/generator.h"
@@ -53,8 +54,12 @@ inline BenchDb MakeBenchDb(const storage::datagen::DatabaseGenSpec& spec,
   wopts.max_joins = out.db->num_tables() > 1 ? cfg.max_joins : 0;
   workload::WorkloadGenerator gen(out.db.get(), wopts);
   Rng rng(cfg.seed * 977 + 13);
+  Timer label_timer;
   out.train = gen.GenerateLabeled(cfg.train_queries, &rng);
   out.test = gen.GenerateLabeled(cfg.test_queries, &rng);
+  std::fprintf(stderr, "[bench] %s: labeled %d queries in %.2fs (%d threads)\n",
+               out.name.c_str(), cfg.train_queries + cfg.test_queries,
+               label_timer.ElapsedSeconds(), parallel::ThreadCount());
   return out;
 }
 

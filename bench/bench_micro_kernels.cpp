@@ -1,14 +1,29 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels underneath the
 // estimators: matrix multiply, exact executor counting, filter scans, hash
 // index probes, and per-model inference.
+//
+// The custom main() additionally sweeps the thread-pool size over the
+// parallel kernels (MatMul and workload labeling) and writes the wall-clock
+// results to BENCH_parallel.json in the working directory, so CI and the
+// experiment scripts can chart threads-vs-speedup without parsing
+// human-oriented benchmark output.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/ce/factory.h"
 #include "src/exec/executor.h"
 #include "src/exec/hash_index.h"
 #include "src/nn/matrix.h"
 #include "src/storage/datagen.h"
+#include "src/util/parallel.h"
 #include "src/workload/generator.h"
 
 namespace {
@@ -27,6 +42,46 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Same kernel swept over pool sizes: Args are {n, threads}.
+void BM_MatMulThreads(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  parallel::SetThreadCountForTesting(threads);
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  nn::Matrix b = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+  parallel::SetThreadCountForTesting(0);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
+// Ground-truth labeling (the dominant workload-prep cost) swept over pool
+// sizes: Arg is the thread count.
+void BM_LabelingThreads(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  static std::unique_ptr<storage::Database> db =
+      storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.05), 1);
+  parallel::SetThreadCountForTesting(threads);
+  workload::WorkloadOptions opts;
+  opts.max_joins = 2;
+  workload::WorkloadGenerator gen(db.get(), opts);
+  for (auto _ : state) {
+    Rng rng(9);
+    auto queries = gen.GenerateLabeled(40, &rng);
+    benchmark::DoNotOptimize(queries.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+  parallel::SetThreadCountForTesting(0);
+}
+BENCHMARK(BM_LabelingThreads)->Arg(1)->Arg(2)->Arg(4);
 
 struct Fixture {
   std::unique_ptr<storage::Database> db;
@@ -111,6 +166,91 @@ BENCHMARK_CAPTURE(BM_EstimatorInference, mscn, std::string("MSCN"));
 BENCHMARK_CAPTURE(BM_EstimatorInference, lwxgb, std::string("LW-XGB"));
 BENCHMARK_CAPTURE(BM_EstimatorInference, spn, std::string("DeepDB-SPN"));
 
+// One timed sample of a parallel workload at a given pool size.
+double TimeSeconds(int threads, const std::function<void()>& body) {
+  parallel::SetThreadCountForTesting(threads);
+  body();  // warm-up: pool spin-up, allocator, column-sort caches
+  auto start = std::chrono::steady_clock::now();
+  body();
+  auto end = std::chrono::steady_clock::now();
+  parallel::SetThreadCountForTesting(0);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct SweepResult {
+  std::string kernel;
+  int threads;
+  double seconds;
+};
+
+// Sweeps the two headline parallel paths (dense MatMul, ground-truth workload
+// labeling) over pool sizes and writes BENCH_parallel.json.
+void WriteParallelSweepJson(const char* path) {
+  std::vector<int> thread_counts = {1, 2, 4};
+  std::vector<SweepResult> results;
+
+  {
+    Rng rng(1);
+    nn::Matrix a = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    nn::Matrix b = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    for (int t : thread_counts) {
+      double s = TimeSeconds(t, [&] {
+        for (int rep = 0; rep < 8; ++rep) {
+          nn::Matrix c = nn::MatMul(a, b);
+          benchmark::DoNotOptimize(c.data().data());
+        }
+      });
+      results.push_back({"matmul_384", t, s});
+    }
+  }
+
+  {
+    auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.05), 1);
+    workload::WorkloadOptions opts;
+    opts.max_joins = 2;
+    workload::WorkloadGenerator gen(db.get(), opts);
+    for (int t : thread_counts) {
+      double s = TimeSeconds(t, [&] {
+        Rng rng(9);
+        auto queries = gen.GenerateLabeled(60, &rng);
+        benchmark::DoNotOptimize(queries.data());
+      });
+      results.push_back({"workload_labeling_60q", t, s});
+    }
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"results\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    double base = r.seconds;
+    for (const SweepResult& other : results) {
+      if (other.kernel == r.kernel && other.threads == 1) base = other.seconds;
+    }
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.6f, \"speedup_vs_1\": %.3f}%s\n",
+                 r.kernel.c_str(), r.threads, r.seconds,
+                 r.seconds > 0 ? base / r.seconds : 0.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteParallelSweepJson("BENCH_parallel.json");
+  return 0;
+}

@@ -50,6 +50,14 @@ class Estimator {
     return Status::Unimplemented(Name() + " does not update from data");
   }
 
+  /// True when EstimateCardinality() is safe to call concurrently from
+  /// multiple threads after Build(): no per-call mutable state, no internal
+  /// Rng. The evaluation harness then scores test queries in parallel;
+  /// per-query estimates are unchanged, so accuracy reports stay identical
+  /// at every thread count. Defaults to false (neural forward passes cache
+  /// activations; samplers draw from a shared Rng).
+  virtual bool ThreadSafeEstimate() const { return false; }
+
   /// Approximate size of the built estimator in bytes (statistics, samples,
   /// or model parameters) — the footprint column of experiment R2.
   virtual uint64_t SizeBytes() const = 0;

@@ -34,6 +34,8 @@ class LwXgbEstimator : public Estimator {
   double EstimateCardinality(const query::Query& q) override;
   Status UpdateWithQueries(
       const std::vector<query::LabeledQuery>& queries) override;
+  /// Encoding and tree traversal are pure reads of the fitted model.
+  bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
  private:

@@ -76,6 +76,8 @@ class HistogramEstimator : public Estimator {
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
   Status UpdateWithData(const storage::Database& db) override;
+  /// Estimation reads only the built per-column statistics.
+  bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
   /// Selectivity of all of `q`'s predicates on `table_index` (independence).

@@ -59,6 +59,8 @@ class MultiDimHistogramEstimator : public Estimator {
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
   Status UpdateWithData(const storage::Database& db) override;
+  /// Estimation reads only the built grids.
+  bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
  private:

@@ -29,6 +29,8 @@ class SamplingEstimator : public Estimator {
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
   Status UpdateWithData(const storage::Database& db) override;
+  /// Estimation is a read-only exact count over the frozen sample database.
+  bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
  private:

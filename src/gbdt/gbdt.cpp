@@ -1,9 +1,31 @@
 #include "src/gbdt/gbdt.h"
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace lce {
 namespace gbdt {
+
+namespace {
+
+// Rows per parallel chunk for per-row binning / prediction sweeps.
+constexpr int64_t kRowGrain = 256;
+
+// Binned copies of `rows`, computed in parallel (disjoint writes; Transform
+// only reads the fitted binner).
+std::vector<std::vector<uint8_t>> BinRows(
+    const FeatureBinner& binner, const std::vector<std::vector<float>>& rows) {
+  std::vector<std::vector<uint8_t>> binned(rows.size());
+  parallel::ParallelFor(0, static_cast<int64_t>(rows.size()), kRowGrain,
+                        [&](int64_t b, int64_t e) {
+                          for (int64_t i = b; i < e; ++i) {
+                            binned[i] = binner.Transform(rows[i]);
+                          }
+                        });
+  return binned;
+}
+
+}  // namespace
 
 void GradientBoosting::Fit(const std::vector<std::vector<float>>& rows,
                            const std::vector<float>& targets) {
@@ -15,10 +37,7 @@ void GradientBoosting::Fit(const std::vector<std::vector<float>>& rows,
   base_score_ = static_cast<float>(sum / static_cast<double>(targets.size()));
   fitted_ = true;
 
-  std::vector<std::vector<uint8_t>> binned;
-  binned.reserve(rows.size());
-  for (const auto& row : rows) binned.push_back(binner_.Transform(row));
-  AddTrees(binned, targets, options_.num_trees);
+  AddTrees(BinRows(binner_, rows), targets, options_.num_trees);
 }
 
 void GradientBoosting::Boost(const std::vector<std::vector<float>>& rows,
@@ -26,22 +45,24 @@ void GradientBoosting::Boost(const std::vector<std::vector<float>>& rows,
                              int num_trees) {
   LCE_CHECK_MSG(fitted_, "Fit() before Boost()");
   LCE_CHECK(!rows.empty() && rows.size() == targets.size());
-  std::vector<std::vector<uint8_t>> binned;
-  binned.reserve(rows.size());
-  for (const auto& row : rows) binned.push_back(binner_.Transform(row));
-  AddTrees(binned, targets, num_trees);
+  AddTrees(BinRows(binner_, rows), targets, num_trees);
 }
 
 void GradientBoosting::AddTrees(
     const std::vector<std::vector<uint8_t>>& binned,
     const std::vector<float>& targets, int num_trees) {
   // Current predictions for the (possibly new) data under the ensemble.
+  // Each row's prediction is independent and sums the trees in ensemble
+  // order, so the row-parallel replay matches the sequential one exactly.
+  const int64_t n = static_cast<int64_t>(binned.size());
   std::vector<float> pred(binned.size(), base_score_);
-  for (const RegressionTree& tree : trees_) {
-    for (size_t i = 0; i < binned.size(); ++i) {
-      pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+  parallel::ParallelFor(0, n, kRowGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      for (const RegressionTree& tree : trees_) {
+        pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+      }
     }
-  }
+  });
   std::vector<float> residual(binned.size());
   for (int t = 0; t < num_trees; ++t) {
     for (size_t i = 0; i < binned.size(); ++i) {
@@ -49,9 +70,11 @@ void GradientBoosting::AddTrees(
     }
     RegressionTree tree;
     tree.Fit(binned, residual, options_.tree, options_.max_bins);
-    for (size_t i = 0; i < binned.size(); ++i) {
-      pred[i] += options_.learning_rate * tree.Predict(binned[i]);
-    }
+    parallel::ParallelFor(0, n, kRowGrain, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+      }
+    });
     trees_.push_back(std::move(tree));
   }
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace lce {
 namespace gbdt {
@@ -16,23 +17,32 @@ void FeatureBinner::Fit(const std::vector<std::vector<float>>& rows,
   max_bins_ = max_bins;
   size_t d = rows[0].size();
   edges_.assign(d, {});
-  std::vector<float> column(rows.size());
-  for (size_t f = 0; f < d; ++f) {
-    for (size_t r = 0; r < rows.size(); ++r) column[r] = rows[r][f];
-    std::sort(column.begin(), column.end());
-    std::vector<float>& edges = edges_[f];
-    for (int b = 1; b <= max_bins; ++b) {
-      size_t idx = std::min(rows.size() - 1,
-                            rows.size() * static_cast<size_t>(b) / max_bins);
-      float edge = b == max_bins ? std::numeric_limits<float>::infinity()
-                                 : column[idx];
-      edges.push_back(edge);
-    }
-    // Deduplicate plateau edges so empty bins collapse.
-    for (size_t i = 1; i < edges.size(); ++i) {
-      if (edges[i] < edges[i - 1]) edges[i] = edges[i - 1];
-    }
-  }
+  // Features are independent (disjoint edges_[f] writes), so the quantile
+  // sorts run in parallel chunks with a per-chunk column buffer. One lane
+  // processes all features in one chunk (one buffer, like the old loop).
+  int64_t fit_grain =
+      parallel::ThreadCount() <= 1 ? static_cast<int64_t>(d) : 1;
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(d), fit_grain, [&](int64_t f0, int64_t f1) {
+        std::vector<float> column(rows.size());
+        for (int64_t f = f0; f < f1; ++f) {
+          for (size_t r = 0; r < rows.size(); ++r) column[r] = rows[r][f];
+          std::sort(column.begin(), column.end());
+          std::vector<float>& edges = edges_[f];
+          for (int b = 1; b <= max_bins; ++b) {
+            size_t idx =
+                std::min(rows.size() - 1,
+                         rows.size() * static_cast<size_t>(b) / max_bins);
+            float edge = b == max_bins ? std::numeric_limits<float>::infinity()
+                                       : column[idx];
+            edges.push_back(edge);
+          }
+          // Deduplicate plateau edges so empty bins collapse.
+          for (size_t i = 1; i < edges.size(); ++i) {
+            if (edges[i] < edges[i - 1]) edges[i] = edges[i - 1];
+          }
+        }
+      });
 }
 
 std::vector<uint8_t> FeatureBinner::Transform(
@@ -80,42 +90,68 @@ int RegressionTree::BuildNode(const std::vector<std::vector<uint8_t>>& binned,
   }
 
   // Best split: maximize SSE reduction = sumL^2/nL + sumR^2/nR - sum^2/n.
+  // Features scan in parallel chunks; chunk winners are combined in feature
+  // order with the same strict-greater rule as the sequential loop, so the
+  // chosen split (including tie-breaks toward the lowest feature/bin) is
+  // identical at any thread count.
   size_t d = binned[0].size();
   double parent_score = sum * sum / n;
-  double best_gain = options.min_gain;
-  int best_feature = -1;
-  int best_bin = -1;
 
-  std::vector<double> bin_sum(max_bins);
-  std::vector<uint32_t> bin_count(max_bins);
-  for (size_t f = 0; f < d; ++f) {
-    std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
-    std::fill(bin_count.begin(), bin_count.end(), 0u);
-    for (uint32_t r : rows) {
-      uint8_t b = binned[r][f];
-      bin_sum[b] += targets[r];
-      ++bin_count[b];
-    }
-    double left_sum = 0;
-    uint32_t left_count = 0;
-    for (int b = 0; b < max_bins - 1; ++b) {
-      left_sum += bin_sum[b];
-      left_count += bin_count[b];
-      uint32_t right_count = static_cast<uint32_t>(rows.size()) - left_count;
-      if (left_count < static_cast<uint32_t>(options.min_samples_leaf) ||
-          right_count < static_cast<uint32_t>(options.min_samples_leaf)) {
-        continue;
-      }
-      double right_sum = sum - left_sum;
-      double gain = left_sum * left_sum / left_count +
-                    right_sum * right_sum / right_count - parent_score;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = static_cast<int>(f);
-        best_bin = b;
-      }
-    }
-  }
+  struct SplitCandidate {
+    double gain;
+    int feature;
+    int bin;
+  };
+  const SplitCandidate no_split{options.min_gain, -1, -1};
+  // One lane scans all features in a single chunk (one scratch histogram,
+  // like the old loop); otherwise aim for >= 16k row-bin increments per
+  // chunk so small nodes stay inline.
+  int64_t grain =
+      parallel::ThreadCount() <= 1
+          ? static_cast<int64_t>(d)
+          : std::max<int64_t>(1, (16 << 10) / static_cast<int64_t>(
+                                                  std::max<size_t>(
+                                                      1, rows.size())));
+  SplitCandidate best = parallel::ParallelReduce<SplitCandidate>(
+      0, static_cast<int64_t>(d), grain, no_split,
+      [&](int64_t f0, int64_t f1) {
+        SplitCandidate local{options.min_gain, -1, -1};
+        std::vector<double> bin_sum(max_bins);
+        std::vector<uint32_t> bin_count(max_bins);
+        for (int64_t f = f0; f < f1; ++f) {
+          std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
+          std::fill(bin_count.begin(), bin_count.end(), 0u);
+          for (uint32_t r : rows) {
+            uint8_t b = binned[r][f];
+            bin_sum[b] += targets[r];
+            ++bin_count[b];
+          }
+          double left_sum = 0;
+          uint32_t left_count = 0;
+          for (int b = 0; b < max_bins - 1; ++b) {
+            left_sum += bin_sum[b];
+            left_count += bin_count[b];
+            uint32_t right_count =
+                static_cast<uint32_t>(rows.size()) - left_count;
+            if (left_count < static_cast<uint32_t>(options.min_samples_leaf) ||
+                right_count < static_cast<uint32_t>(options.min_samples_leaf)) {
+              continue;
+            }
+            double right_sum = sum - left_sum;
+            double gain = left_sum * left_sum / left_count +
+                          right_sum * right_sum / right_count - parent_score;
+            if (gain > local.gain) {
+              local = {gain, static_cast<int>(f), b};
+            }
+          }
+        }
+        return local;
+      },
+      [](SplitCandidate acc, SplitCandidate chunk) {
+        return chunk.gain > acc.gain ? chunk : acc;
+      });
+  int best_feature = best.feature;
+  int best_bin = best.bin;
 
   if (best_feature < 0) return node_id;
 

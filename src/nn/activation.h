@@ -1,31 +1,62 @@
 // Element-wise activations with output-cached backward helpers.
+//
+// Applied in parallel chunks over the flat buffer: every element is an
+// independent function of its input, so chunking never changes the result.
 
 #ifndef LCE_NN_ACTIVATION_H_
 #define LCE_NN_ACTIVATION_H_
 
 #include <cmath>
+#include <cstdint>
 
 #include "src/nn/matrix.h"
+#include "src/util/parallel.h"
 
 namespace lce {
 namespace nn {
 
 enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
 
+namespace internal {
+
+// Elements per parallel chunk; batches below this run inline.
+constexpr int64_t kActivationGrain = 1 << 14;
+
+}  // namespace internal
+
 /// Applies the activation in place and returns the result (the "output"),
 /// which the matching backward uses.
 inline Matrix ApplyActivation(Activation act, Matrix x) {
+  float* data = x.data().data();
   switch (act) {
     case Activation::kIdentity:
       return x;
     case Activation::kRelu:
-      for (auto& v : x.data()) v = v > 0 ? v : 0.0f;
+      parallel::ParallelFor(0, static_cast<int64_t>(x.size()),
+                            internal::kActivationGrain,
+                            [data](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                data[i] = data[i] > 0 ? data[i] : 0.0f;
+                              }
+                            });
       return x;
     case Activation::kSigmoid:
-      for (auto& v : x.data()) v = 1.0f / (1.0f + std::exp(-v));
+      parallel::ParallelFor(0, static_cast<int64_t>(x.size()),
+                            internal::kActivationGrain,
+                            [data](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+                              }
+                            });
       return x;
     case Activation::kTanh:
-      for (auto& v : x.data()) v = std::tanh(v);
+      parallel::ParallelFor(0, static_cast<int64_t>(x.size()),
+                            internal::kActivationGrain,
+                            [data](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                data[i] = std::tanh(data[i]);
+                              }
+                            });
       return x;
   }
   return x;
@@ -34,25 +65,37 @@ inline Matrix ApplyActivation(Activation act, Matrix x) {
 /// Given dL/d(output) and the cached output, returns dL/d(pre-activation).
 inline Matrix ActivationBackward(Activation act, const Matrix& output,
                                  Matrix dout) {
+  const float* out = output.data().data();
+  float* grad = dout.data().data();
   switch (act) {
     case Activation::kIdentity:
       return dout;
     case Activation::kRelu:
-      for (size_t i = 0; i < dout.size(); ++i) {
-        if (output.data()[i] <= 0) dout.data()[i] = 0;
-      }
+      parallel::ParallelFor(0, static_cast<int64_t>(dout.size()),
+                            internal::kActivationGrain,
+                            [out, grad](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                if (out[i] <= 0) grad[i] = 0;
+                              }
+                            });
       return dout;
     case Activation::kSigmoid:
-      for (size_t i = 0; i < dout.size(); ++i) {
-        float o = output.data()[i];
-        dout.data()[i] *= o * (1.0f - o);
-      }
+      parallel::ParallelFor(0, static_cast<int64_t>(dout.size()),
+                            internal::kActivationGrain,
+                            [out, grad](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                grad[i] *= out[i] * (1.0f - out[i]);
+                              }
+                            });
       return dout;
     case Activation::kTanh:
-      for (size_t i = 0; i < dout.size(); ++i) {
-        float o = output.data()[i];
-        dout.data()[i] *= 1.0f - o * o;
-      }
+      parallel::ParallelFor(0, static_cast<int64_t>(dout.size()),
+                            internal::kActivationGrain,
+                            [out, grad](int64_t b, int64_t e) {
+                              for (int64_t i = b; i < e; ++i) {
+                                grad[i] *= 1.0f - out[i] * out[i];
+                              }
+                            });
       return dout;
   }
   return dout;

@@ -1,16 +1,131 @@
 #include "src/nn/matrix.h"
 
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/parallel.h"
+
 namespace lce {
 namespace nn {
 
-Matrix Matrix::Stack(const std::vector<std::vector<float>>& rows) {
-  LCE_CHECK(!rows.empty());
+namespace {
+
+// Minimum multiply-add operations per parallel chunk; cheaper chunks are not
+// worth a task dispatch.
+constexpr int64_t kFlopsPerChunk = 1 << 15;
+
+// Rows per chunk for a kernel whose output rows are independent. One lane
+// gets a single chunk (the exact sequential loop); multiple lanes get ~4
+// chunks per lane for load balance, floored so chunks stay coarse enough.
+// Matmul results never depend on the chunking, so the lane-aware grain is
+// safe (see the determinism notes on each kernel).
+int64_t RowGrain(int64_t total_rows, int64_t flops_per_row) {
+  int64_t lanes = parallel::ThreadCount();
+  if (lanes <= 1 || total_rows <= 1) return std::max<int64_t>(1, total_rows);
+  int64_t by_lanes = (total_rows + 4 * lanes - 1) / (4 * lanes);
+  int64_t by_work = kFlopsPerChunk / std::max<int64_t>(1, flops_per_row);
+  return std::max<int64_t>(1, std::max(by_lanes, by_work));
+}
+
+Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
+  std::ostringstream oss;
+  oss << op << " shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  return Status::InvalidArgument(oss.str());
+}
+
+// C = A * B over a row block of A. Per output element the k-accumulation
+// order matches the sequential kernel, so blocking never changes the result.
+Matrix MatMulImpl(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  parallel::ParallelFor(
+      0, a.rows(),
+      RowGrain(a.rows(), static_cast<int64_t>(a.cols()) * b.cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* arow = a.RowPtr(static_cast<int>(i));
+          float* crow = c.RowPtr(static_cast<int>(i));
+          for (int k = 0; k < a.cols(); ++k) {
+            float av = arow[k];
+            if (av == 0.0f) continue;
+            const float* brow = b.RowPtr(k);
+            for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+  return c;
+}
+
+// C = A^T * B blocked over output rows (columns of A). Inside a block the
+// loop stays k-outer like the sequential kernel (streaming rows of A and B),
+// and element (i, j) accumulates a(k, i) * b(k, j) in ascending k no matter
+// how the i-range is blocked, so output is bit-identical at any thread count.
+Matrix MatMulTransAImpl(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  parallel::ParallelFor(
+      0, a.cols(),
+      RowGrain(a.cols(), static_cast<int64_t>(a.rows()) * b.cols()),
+      [&](int64_t i0, int64_t i1) {
+        for (int k = 0; k < a.rows(); ++k) {
+          const float* arow = a.RowPtr(k);
+          const float* brow = b.RowPtr(k);
+          for (int64_t i = i0; i < i1; ++i) {
+            float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = c.RowPtr(static_cast<int>(i));
+            for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+  return c;
+}
+
+// C = A * B^T over a row block of A; each element is an independent dot.
+Matrix MatMulTransBImpl(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  parallel::ParallelFor(
+      0, a.rows(),
+      RowGrain(a.rows(), static_cast<int64_t>(b.rows()) * a.cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* arow = a.RowPtr(static_cast<int>(i));
+          float* crow = c.RowPtr(static_cast<int>(i));
+          for (int j = 0; j < b.rows(); ++j) {
+            const float* brow = b.RowPtr(j);
+            float dot = 0;
+            for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+            crow[j] = dot;
+          }
+        }
+      });
+  return c;
+}
+
+}  // namespace
+
+Result<Matrix> Matrix::TryStack(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("Matrix::Stack: no rows to stack");
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != rows[0].size()) {
+      std::ostringstream oss;
+      oss << "Matrix::Stack: ragged input: row " << r << " has "
+          << rows[r].size() << " values, expected " << rows[0].size();
+      return Status::InvalidArgument(oss.str());
+    }
+  }
   Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
   for (size_t r = 0; r < rows.size(); ++r) {
-    LCE_CHECK_MSG(rows[r].size() == rows[0].size(), "ragged Stack input");
     std::copy(rows[r].begin(), rows[r].end(), m.RowPtr(static_cast<int>(r)));
   }
   return m;
+}
+
+Matrix Matrix::Stack(const std::vector<std::vector<float>>& rows) {
+  Result<Matrix> result = TryStack(rows);
+  LCE_CHECK_OK(result.status());
+  return std::move(result).value();
 }
 
 void Matrix::Add(const Matrix& other) {
@@ -22,66 +137,53 @@ void Matrix::Scale(float s) {
   for (auto& v : data_) v *= s;
 }
 
+Result<Matrix> TryMatMul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) return ShapeError("MatMul", a, b);
+  return MatMulImpl(a, b);
+}
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  LCE_CHECK_MSG(a.cols() == b.rows(), "MatMul shape mismatch: " << a.rows()
-                << "x" << a.cols() << " * " << b.rows() << "x" << b.cols());
-  Matrix c(a.rows(), b.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b.RowPtr(k);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  if (a.cols() != b.rows()) LCE_CHECK_OK(ShapeError("MatMul", a, b));
+  return MatMulImpl(a, b);
+}
+
+Result<Matrix> TryMatMulTransA(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) return ShapeError("MatMulTransA", a, b);
+  return MatMulTransAImpl(a, b);
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  LCE_CHECK(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const float* arow = a.RowPtr(k);
-    const float* brow = b.RowPtr(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.RowPtr(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-    }
-  }
-  return c;
+  if (a.rows() != b.rows()) LCE_CHECK_OK(ShapeError("MatMulTransA", a, b));
+  return MatMulTransAImpl(a, b);
+}
+
+Result<Matrix> TryMatMulTransB(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) return ShapeError("MatMulTransB", a, b);
+  return MatMulTransBImpl(a, b);
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  LCE_CHECK(a.cols() == b.cols());
-  Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const float* brow = b.RowPtr(j);
-      float dot = 0;
-      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
-      crow[j] = dot;
-    }
-  }
-  return c;
+  if (a.cols() != b.cols()) LCE_CHECK_OK(ShapeError("MatMulTransB", a, b));
+  return MatMulTransBImpl(a, b);
 }
 
 void AddBiasRow(Matrix* x, const Matrix& bias) {
   LCE_CHECK(bias.rows() == 1 && bias.cols() == x->cols());
-  for (int r = 0; r < x->rows(); ++r) {
-    float* row = x->RowPtr(r);
-    const float* b = bias.RowPtr(0);
-    for (int c = 0; c < x->cols(); ++c) row[c] += b[c];
-  }
+  parallel::ParallelFor(
+      0, x->rows(), RowGrain(x->rows(), x->cols()),
+      [&](int64_t r0, int64_t r1) {
+        const float* b = bias.RowPtr(0);
+        for (int64_t r = r0; r < r1; ++r) {
+          float* row = x->RowPtr(static_cast<int>(r));
+          for (int c = 0; c < x->cols(); ++c) row[c] += b[c];
+        }
+      });
 }
 
 Matrix ColMean(const Matrix& x) {
   LCE_CHECK(x.rows() > 0);
+  // Sequential on purpose: the row-accumulation order defines the floating
+  // point result, and pooling matrices are small.
   Matrix m(1, x.cols());
   for (int r = 0; r < x.rows(); ++r) {
     const float* row = x.RowPtr(r);

@@ -1,8 +1,9 @@
 // Dense row-major float matrix: the tensor type of the NN substrate.
 //
-// Shapes in this library are small (feature widths of tens to hundreds), so a
-// straightforward cache-friendly triple loop is both simple and fast enough
-// for every model in the study.
+// The multiply kernels are row-blocked over the global thread pool (see
+// src/util/parallel.h): output rows are disjoint and every output element
+// accumulates its terms in the same index order as the sequential loop, so
+// results are bit-identical at any thread count.
 
 #ifndef LCE_NN_MATRIX_H_
 #define LCE_NN_MATRIX_H_
@@ -12,6 +13,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace lce {
 namespace nn {
@@ -41,7 +43,11 @@ class Matrix {
     return m;
   }
 
-  /// Stacks equal-width rows into an n x w matrix.
+  /// Stacks equal-width rows into an n x w matrix. Returns InvalidArgument
+  /// on empty or ragged input (callers that cannot recover use Stack()).
+  static Result<Matrix> TryStack(const std::vector<std::vector<float>>& rows);
+
+  /// Stacks equal-width rows into an n x w matrix; aborts on invalid input.
   static Matrix Stack(const std::vector<std::vector<float>>& rows);
 
   int rows() const { return rows_; }
@@ -87,12 +93,17 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// C = A * B.
+/// C = A * B. The abort-on-mismatch forms are for internally-guaranteed
+/// shapes (layer wiring); the Try* forms return InvalidArgument with the
+/// same diagnostic for callers that can recover.
 Matrix MatMul(const Matrix& a, const Matrix& b);
+Result<Matrix> TryMatMul(const Matrix& a, const Matrix& b);
 /// C = A^T * B.
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+Result<Matrix> TryMatMulTransA(const Matrix& a, const Matrix& b);
 /// C = A * B^T.
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+Result<Matrix> TryMatMulTransB(const Matrix& a, const Matrix& b);
 
 /// y = x + broadcast(bias row) for every row of x (in place).
 void AddBiasRow(Matrix* x, const Matrix& bias);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/parallel.h"
 
 namespace lce {
 namespace workload {
@@ -161,30 +162,95 @@ query::Query WorkloadGenerator::GenerateQuery(Rng* rng) const {
   return BuildFromTemplate(RandomTemplate(rng), rng);
 }
 
+query::LabeledQuery WorkloadGenerator::LabelOne(Rng* rng) const {
+  query::Query q;
+  double card = 0;
+  bool found = false;
+  for (int attempt = 0; attempt < options_.max_attempts_per_query; ++attempt) {
+    q = GenerateQuery(rng);
+    card = executor_.Cardinality(q);
+    if (card >= options_.min_cardinality) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    // Guaranteed-nonempty fallback: an unfiltered single-table scan.
+    q = query::Query{};
+    q.tables = {static_cast<int>(rng->Below(
+        static_cast<uint32_t>(db_->num_tables())))};
+    card = static_cast<double>(db_->table(q.tables[0]).num_rows());
+  }
+  return {std::move(q), card};
+}
+
 std::vector<query::LabeledQuery> WorkloadGenerator::GenerateLabeled(
     int n, Rng* rng) const {
+  if (n <= 0) return {};
+  if (parallel::ThreadCount() <= 1) {
+    // Sequential path: consumes `rng` exactly like older releases, keeping
+    // seeded single-thread runs byte-identical.
+    std::vector<query::LabeledQuery> out;
+    out.reserve(n);
+    while (static_cast<int>(out.size()) < n) out.push_back(LabelOne(rng));
+    return out;
+  }
+  // Parallel path: replays the exact sequential algorithm, but labels in
+  // parallel. Query *generation* stays on the caller's Rng stream (it is
+  // cheap); the exact-count labeling (the dominant cost) is a pure function
+  // of the query, so a batch of speculatively generated candidates can be
+  // labeled concurrently and then fed through the sequential accept/reject
+  // replay. Two events make the sequential stream diverge from speculation —
+  // a slot exhausting its attempts (fallback draw) and the final slot filling
+  // (generation stops) — and both rewind `rng` to the recorded state of the
+  // last consumed candidate, so workload AND final Rng state are bit-identical
+  // to the sequential path at every thread count.
   std::vector<query::LabeledQuery> out;
   out.reserve(n);
+  int attempts_used = 0;  // rejected candidates for the current slot
+  std::vector<query::Query> batch;
+  std::vector<Rng> state_after;  // rng snapshot after generating batch[i]
+  std::vector<double> cards;
   while (static_cast<int>(out.size()) < n) {
-    query::Query q;
-    double card = 0;
-    bool found = false;
-    for (int attempt = 0; attempt < options_.max_attempts_per_query; ++attempt) {
-      q = GenerateQuery(rng);
-      card = executor_.Cardinality(q);
-      if (card >= options_.min_cardinality) {
-        found = true;
+    // Small slack over the remaining slot count: rejections are rare, and any
+    // shortfall just costs another round.
+    int remaining = n - static_cast<int>(out.size());
+    int k = std::min(256, remaining + 8);
+    batch.resize(k);
+    state_after.resize(k);
+    for (int i = 0; i < k; ++i) {
+      batch[i] = GenerateQuery(rng);
+      state_after[i] = *rng;
+    }
+    cards.assign(k, 0.0);
+    parallel::ParallelFor(0, k, 8, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        cards[static_cast<size_t>(i)] = executor_.Cardinality(batch[i]);
+      }
+    });
+    int consumed = 0;
+    bool rewound = false;
+    for (int i = 0; i < k && static_cast<int>(out.size()) < n; ++i) {
+      consumed = i + 1;
+      if (cards[i] >= options_.min_cardinality) {
+        out.push_back({std::move(batch[i]), cards[i]});
+        attempts_used = 0;
+      } else if (++attempts_used >= options_.max_attempts_per_query) {
+        // The sequential fallback draw interleaves into the generation
+        // stream, so the speculation past this candidate is invalid.
+        *rng = state_after[i];
+        query::Query q;
+        q.tables = {static_cast<int>(
+            rng->Below(static_cast<uint32_t>(db_->num_tables())))};
+        double card = static_cast<double>(db_->table(q.tables[0]).num_rows());
+        out.push_back({std::move(q), card});
+        attempts_used = 0;
+        rewound = true;
         break;
       }
     }
-    if (!found) {
-      // Guaranteed-nonempty fallback: an unfiltered single-table scan.
-      q = query::Query{};
-      q.tables = {static_cast<int>(rng->Below(
-          static_cast<uint32_t>(db_->num_tables())))};
-      card = static_cast<double>(db_->table(q.tables[0]).num_rows());
-    }
-    out.push_back({std::move(q), card});
+    // Un-consume speculative candidates past the sequential stopping point.
+    if (!rewound && consumed > 0) *rng = state_after[consumed - 1];
   }
   return out;
 }

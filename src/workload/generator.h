@@ -51,6 +51,12 @@ class WorkloadGenerator {
   query::Query GenerateQuery(Rng* rng) const;
 
   /// `n` queries with true cardinalities >= options.min_cardinality.
+  ///
+  /// Query generation always consumes `rng` exactly like the sequential
+  /// rejection-sampling loop; with >= 2 pool lanes only the exact-count
+  /// labeling (a pure function of each query) runs in parallel, over
+  /// speculatively generated batches. The returned workload and the final
+  /// state of `rng` are bit-identical at every thread count.
   std::vector<query::LabeledQuery> GenerateLabeled(int n, Rng* rng) const;
 
   /// All templates (connected table subsets) with at most `max_joins` edges.
@@ -67,6 +73,8 @@ class WorkloadGenerator {
   query::Query BuildFromTemplate(const std::vector<int>& tables,
                                  Rng* rng) const;
   std::vector<int> RandomTemplate(Rng* rng) const;
+  /// One rejection-sampled labeled query (the body of GenerateLabeled).
+  query::LabeledQuery LabelOne(Rng* rng) const;
   /// Sorted copy of a column's values, built lazily (quantile lookups).
   const std::vector<storage::Value>& SortedColumn(int table, int column) const;
 
