@@ -8,6 +8,7 @@
 #define LCE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,8 +17,12 @@
 #include "src/eval/metrics.h"
 #include "src/exec/executor.h"
 #include "src/storage/datagen.h"
+#include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/table_printer.h"
+#include "src/util/telemetry/run_manifest.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
 #include "src/util/timer.h"
 #include "src/workload/generator.h"
 
@@ -41,6 +46,31 @@ struct BenchConfig {
   int test_queries = 300;
   int max_joins = 3;
   uint64_t seed = 7;
+
+  /// Defaults overridden by LCE_BENCH_{SCALE,DMV_SCALE,TRAIN_QUERIES,
+  /// TEST_QUERIES,MAX_JOINS,SEED} — CI runs the suite at a fraction of the
+  /// default size without a rebuild.
+  static BenchConfig FromEnv() {
+    BenchConfig cfg;
+    auto env_double = [](const char* name, double* out) {
+      const char* v = std::getenv(name);
+      if (v != nullptr && *v != '\0') *out = std::atof(v);
+    };
+    auto env_int = [](const char* name, int* out) {
+      const char* v = std::getenv(name);
+      if (v != nullptr && *v != '\0') *out = std::atoi(v);
+    };
+    env_double("LCE_BENCH_SCALE", &cfg.scale);
+    env_double("LCE_BENCH_DMV_SCALE", &cfg.dmv_scale);
+    env_int("LCE_BENCH_TRAIN_QUERIES", &cfg.train_queries);
+    env_int("LCE_BENCH_TEST_QUERIES", &cfg.test_queries);
+    env_int("LCE_BENCH_MAX_JOINS", &cfg.max_joins);
+    if (const char* v = std::getenv("LCE_BENCH_SEED");
+        v != nullptr && *v != '\0') {
+      cfg.seed = static_cast<uint64_t>(std::atoll(v));
+    }
+    return cfg;
+  }
 };
 
 inline BenchDb MakeBenchDb(const storage::datagen::DatabaseGenSpec& spec,
@@ -55,11 +85,13 @@ inline BenchDb MakeBenchDb(const storage::datagen::DatabaseGenSpec& spec,
   workload::WorkloadGenerator gen(out.db.get(), wopts);
   Rng rng(cfg.seed * 977 + 13);
   Timer label_timer;
+  telemetry::TraceSpan span("label/" + out.name);
   out.train = gen.GenerateLabeled(cfg.train_queries, &rng);
   out.test = gen.GenerateLabeled(cfg.test_queries, &rng);
-  std::fprintf(stderr, "[bench] %s: labeled %d queries in %.2fs (%d threads)\n",
-               out.name.c_str(), cfg.train_queries + cfg.test_queries,
-               label_timer.ElapsedSeconds(), parallel::ThreadCount());
+  LCE_LOG(INFO) << out.name << ": labeled "
+                << cfg.train_queries + cfg.test_queries << " queries in "
+                << label_timer.ElapsedSeconds() << "s ("
+                << parallel::ThreadCount() << " threads)";
   return out;
 }
 
@@ -85,9 +117,9 @@ inline ce::NeuralOptions BenchNeuralOptions() {
 struct EstimatorRun {
   std::string name;
   double build_seconds = 0;
-  double infer_micros = 0;
   uint64_t size_bytes = 0;
   eval::AccuracyReport accuracy;
+  eval::LatencyReport latency;
   bool ok = false;
 };
 
@@ -96,21 +128,51 @@ inline EstimatorRun RunEstimator(const std::string& name, const BenchDb& bench,
                                  uint64_t seed = 42) {
   EstimatorRun run;
   run.name = name;
+  // Scope the phase counters and the build span to this estimator, so the
+  // manifest reads "FCN:nn/epoch" rather than a cross-estimator pot.
+  telemetry::PhaseScope phase_scope(name);
   auto est = ce::MakeEstimator(name, neural, seed);
   Timer timer;
-  Status s = est->Build(*bench.db, bench.train);
+  Status s;
+  {
+    telemetry::TraceSpan span("build/" + name + "@" + bench.name);
+    s = est->Build(*bench.db, bench.train);
+  }
   run.build_seconds = timer.ElapsedSeconds();
   if (!s.ok()) {
-    std::fprintf(stderr, "[bench] build of %s on %s failed: %s\n",
-                 name.c_str(), bench.name.c_str(), s.ToString().c_str());
+    LCE_LOG(ERROR) << "build of " << name << " on " << bench.name
+                   << " failed: " << s.ToString();
     return run;
   }
+  telemetry::TraceSpan eval_span("eval/" + name + "@" + bench.name);
   run.accuracy = eval::EvaluateAccuracy(est.get(), bench.test);
-  run.infer_micros = eval::MeanEstimateLatencyMicros(est.get(), bench.test);
+  run.latency = eval::MeasureEstimateLatency(est.get(), bench.test);
   run.size_bytes = est->SizeBytes();
   run.ok = true;
   return run;
 }
+
+/// RAII per-binary harness: times the whole run and, on destruction, writes
+/// BENCH_manifest_<name>.json plus the LCE_TRACE file (if enabled).
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : name_(std::move(name)) {
+    LCE_LOG(INFO) << "bench " << name_ << " starting (commit "
+                  << telemetry::BuildGitCommit() << ", "
+                  << parallel::ThreadCount() << " threads)";
+  }
+  ~BenchRun() {
+    telemetry::WriteRunManifest("BENCH_manifest_" + name_ + ".json", name_,
+                                timer_.ElapsedSeconds());
+    telemetry::WriteTraceIfEnabled();
+  }
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+ private:
+  std::string name_;
+  Timer timer_;
+};
 
 inline void PrintHeader(const std::string& experiment,
                         const std::string& what,

@@ -23,7 +23,12 @@
 #include "src/exec/hash_index.h"
 #include "src/nn/matrix.h"
 #include "src/storage/datagen.h"
+#include "src/util/json_writer.h"
+#include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/run_manifest.h"
+#include "src/util/telemetry/trace.h"
+#include "src/util/timer.h"
 #include "src/workload/generator.h"
 
 namespace {
@@ -219,38 +224,48 @@ void WriteParallelSweepJson(const char* path) {
     }
   }
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "[bench] cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"results\": [\n",
-               std::thread::hardware_concurrency());
-  for (size_t i = 0; i < results.size(); ++i) {
-    const SweepResult& r = results[i];
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("hardware_threads")
+      .Value(uint64_t{std::thread::hardware_concurrency()});
+  w.Key("results").BeginArray();
+  for (const SweepResult& r : results) {
     double base = r.seconds;
     for (const SweepResult& other : results) {
       if (other.kernel == r.kernel && other.threads == 1) base = other.seconds;
     }
-    std::fprintf(f,
-                 "    {\"kernel\": \"%s\", \"threads\": %d, "
-                 "\"seconds\": %.6f, \"speedup_vs_1\": %.3f}%s\n",
-                 r.kernel.c_str(), r.threads, r.seconds,
-                 r.seconds > 0 ? base / r.seconds : 0.0,
-                 i + 1 < results.size() ? "," : "");
+    w.BeginObject()
+        .Key("kernel").Value(r.kernel)
+        .Key("threads").Value(r.threads)
+        .Key("seconds").Value(r.seconds)
+        .Key("speedup_vs_1").Value(r.seconds > 0 ? base / r.seconds : 0.0)
+        .EndObject();
   }
-  std::fprintf(f, "  ]\n}\n");
+  w.EndArray().EndObject();
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    LCE_LOG(ERROR) << "cannot open " << path << " for writing";
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
-  std::fprintf(stderr, "[bench] wrote %s\n", path);
+  LCE_LOG(INFO) << "wrote " << path;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  lce::Timer wall;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteParallelSweepJson("BENCH_parallel.json");
+  lce::telemetry::WriteRunManifest("BENCH_manifest_micro_kernels.json",
+                                   "micro_kernels", wall.ElapsedSeconds());
+  lce::telemetry::WriteTraceIfEnabled();
   return 0;
 }

@@ -7,13 +7,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r10_updates");
 
   PrintHeader("R10", "stale vs updated vs rebuilt after data drift",
               "stale models degrade after drift; statistics refresh "
               "(ANALYZE) and data-driven refits recover nearly all accuracy; "
               "query-driven incremental training recovers most of it");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   ce::NeuralOptions neural = BenchNeuralOptions();
   const std::vector<std::string> models = {"Histogram", "FCN",  "MSCN",
                                            "LW-XGB",    "Naru", "DeepDB-SPN"};

@@ -5,13 +5,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r11_loss");
 
   PrintHeader("R11", "loss ablation: MSE vs log-Q (FCN, MSCN)",
               "the q-error-aligned loss improves geo-mean and median; tail "
               "effects are mixed (MSE's squared penalty also fights "
               "outliers)");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   std::vector<BenchDb> dbs;
   dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
   dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));

@@ -6,13 +6,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r12_encoding");
 
   PrintHeader("R12", "encoding ablation: full vs range-only vs coarse",
               "dropping table/join one-hots hurts on multi-table schemas "
               "(structure becomes invisible); quantizing ranges hurts "
               "selective predicates everywhere");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   std::vector<BenchDb> dbs;
   dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
   dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));

@@ -5,13 +5,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r13_variance");
 
   PrintHeader("R13", "q-error variance across 8 training seeds (DMV-like)",
               "neural models show non-trivial seed variance; the "
               "deterministic tree ensemble has none; the under-capacity "
               "Linear model swings the most between seeds");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   cfg.train_queries = 1200;
   BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
                               cfg);

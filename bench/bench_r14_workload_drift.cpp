@@ -32,13 +32,14 @@ std::vector<double> CenterHistogram(
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r14_workload_drift");
 
   PrintHeader("R14", "accuracy under workload drift (JSD-quantified)",
               "q-error of query-driven models grows with the divergence "
               "between training and test query distributions; "
               "data-independent statistics are unaffected");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
                               cfg);
   ce::NeuralOptions neural = BenchNeuralOptions();

@@ -9,6 +9,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r15_planner_ablation");
 
   PrintHeader("R15", "planner ablation: DP vs greedy under three estimators",
               "with any fixed cardinality source DP <= greedy by "
@@ -16,7 +17,7 @@ int main() {
               "near-optimal, so estimate quality — not enumeration — "
               "dominates plan cost (compare rows, not columns)");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   ce::NeuralOptions neural = BenchNeuralOptions();
   std::vector<BenchDb> dbs;
   dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));

@@ -6,13 +6,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r16_mscn_samples");
 
   PrintHeader("R16", "MSCN sample-bitmap width ablation",
               "bitmaps carry per-table selectivity evidence: accuracy "
               "improves with width and saturates; width 0 (= FCN+Pool) is "
               "clearly worse on selective predicates");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   std::vector<BenchDb> dbs;
   dbs.push_back(MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale), cfg));
   dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));

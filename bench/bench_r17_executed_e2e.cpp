@@ -10,13 +10,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r17_executed_e2e");
 
   PrintHeader("R17", "executed plans: tuple work per estimator's plans",
               "plans from better estimators perform less physical work; all "
               "plans return identical (correct) counts; hostile estimates "
               "can blow the intermediate-size budget");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   ce::NeuralOptions neural = BenchNeuralOptions();
   const std::vector<std::string> models = {"Histogram", "Sampling",
                                            "WanderJoin", "Linear", "FCN",

@@ -11,13 +11,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r18_convergence_bounds");
 
   PrintHeader("R18", "convergence curves + bound-corrected robustness",
               "losses fall steeply then flatten (convergence); the bounded "
               "model matches the raw model in-distribution and cuts the "
               "out-of-distribution max q-error by orders of magnitude");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
                               cfg);
   ce::NeuralOptions neural = BenchNeuralOptions();

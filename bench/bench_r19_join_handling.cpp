@@ -10,6 +10,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r19_join_handling");
 
   PrintHeader("R19", "data-driven join handling: distinct-count vs measured "
                      "edge selectivities",
@@ -21,7 +22,7 @@ int main() {
               "noise — the residual error there is fanout VARIANCE, which "
               "only join-aware methods address");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   std::vector<BenchDb> dbs;
   dbs.push_back(MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg));
   dbs.push_back(MakeBenchDb(storage::datagen::StatsLikeSpec(cfg.scale), cfg));

@@ -6,13 +6,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r1_overall_accuracy");
 
   PrintHeader("R1", "overall q-error of all estimators on 4 databases",
               "learned models beat Histogram/Sampling on correlated data; "
               "MSCN strongest among query-driven on joins; Linear weakest "
               "learned model");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   ce::NeuralOptions neural = BenchNeuralOptions();
   for (BenchDb& bench : MakeStudyDbs(cfg)) {
     std::printf("\n-- database: %s (%d tables) --\n", bench.name.c_str(),

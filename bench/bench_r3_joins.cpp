@@ -8,13 +8,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r3_joins");
 
   PrintHeader("R3", "q-error vs join count (IMDb-like, k = 0..4 joins)",
               "every estimator degrades as joins grow; set-based models "
               "(MSCN) degrade least among query-driven; per-table models "
               "with the distinct-count formula degrade most");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   cfg.max_joins = 4;
   cfg.train_queries = 2000;
   BenchDb bench = MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg);

@@ -6,6 +6,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r4_correlation");
 
   PrintHeader("R4", "q-error vs correlation (synthetic pair, 2 predicates)",
               "independence-based Histogram degrades sharply as correlation "
@@ -23,7 +24,7 @@ int main() {
   for (size_t m = 0; m < models.size(); ++m) rows[m].push_back(models[m]);
 
   for (double corr : correlations) {
-    BenchConfig cfg;
+    BenchConfig cfg = BenchConfig::FromEnv();
     cfg.train_queries = 1200;
     cfg.test_queries = 200;
     storage::datagen::DatabaseGenSpec spec =

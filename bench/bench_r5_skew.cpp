@@ -5,6 +5,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r5_skew");
 
   PrintHeader("R5", "q-error vs Zipf skew θ (synthetic pair)",
               "histograms with MCVs absorb moderate skew; estimators without "

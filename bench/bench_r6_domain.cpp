@@ -5,6 +5,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r6_domain");
 
   PrintHeader("R6", "q-error vs domain size (synthetic pair)",
               "small domains are easy for everyone; large domains sharpen "

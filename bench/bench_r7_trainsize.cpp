@@ -5,12 +5,13 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r7_trainsize");
 
   PrintHeader("R7", "q-error vs number of training queries (DMV-like)",
               "accuracy improves steeply up to ~1-2k queries then plateaus; "
               "tree ensembles need fewer queries than deep models");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   cfg.train_queries = 4000;  // superset; prefixes form the sweep
   cfg.test_queries = 250;
   BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),

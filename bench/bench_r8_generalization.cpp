@@ -8,6 +8,7 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r8_generalization");
 
   PrintHeader("R8", "seen vs unseen join templates; in- vs out-of-range "
                     "predicates",
@@ -16,7 +17,7 @@ int main() {
               "the histogram's change comes only from query difficulty, not "
               "from the train/test split");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   cfg.max_joins = 3;
   BenchDb bench = MakeBenchDb(storage::datagen::ImdbLikeSpec(cfg.scale), cfg);
   ce::NeuralOptions neural = BenchNeuralOptions();

@@ -10,13 +10,14 @@
 int main() {
   using namespace lce;
   using namespace lce::bench;
+  BenchRun bench_run("r9_e2e");
 
   PrintHeader("R9", "end-to-end plan quality (simulated latency & P-error)",
               "bad estimates inflate true plan cost sub-linearly in q-error; "
               "estimators with better tail q-errors pick better join orders; "
               "the oracle lower bound is the Clean row");
 
-  BenchConfig cfg;
+  BenchConfig cfg = BenchConfig::FromEnv();
   cfg.train_queries = 1500;
   ce::NeuralOptions neural = BenchNeuralOptions();
   const std::vector<std::string> models = {"Histogram", "Sampling", "Linear",

@@ -6,6 +6,7 @@
 #include "src/ce/edge_selectivity.h"
 #include "src/ce/join_formula.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace ce {
@@ -60,18 +61,21 @@ void BayesNetTableModel::Fit(const storage::Table& table,
   // Sampled binned matrix.
   uint64_t n = table.num_rows();
   uint64_t take = std::min(options.max_training_rows, n);
-  std::vector<uint64_t> ids(n);
-  for (uint64_t i = 0; i < n; ++i) ids[i] = i;
-  for (uint64_t i = 0; i < take; ++i) {
-    uint64_t j = i + static_cast<uint64_t>(
-                         rng->UniformInt(0, static_cast<int64_t>(n - i) - 1));
-    std::swap(ids[i], ids[j]);
-  }
   std::vector<std::vector<int>> cols(d, std::vector<int>(take));
-  for (size_t m = 0; m < d; ++m) {
-    const auto& col = table.column(modeled_cols_[m]);
+  {
+    telemetry::ScopedPhase phase("bayesnet/sample_bin");
+    std::vector<uint64_t> ids(n);
+    for (uint64_t i = 0; i < n; ++i) ids[i] = i;
     for (uint64_t i = 0; i < take; ++i) {
-      cols[m][i] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
+      uint64_t j = i + static_cast<uint64_t>(
+                           rng->UniformInt(0, static_cast<int64_t>(n - i) - 1));
+      std::swap(ids[i], ids[j]);
+    }
+    for (size_t m = 0; m < d; ++m) {
+      const auto& col = table.column(modeled_cols_[m]);
+      for (uint64_t i = 0; i < take; ++i) {
+        cols[m][i] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
+      }
     }
   }
   auto bins_of = [&](size_t m) {
@@ -80,6 +84,7 @@ void BayesNetTableModel::Fit(const storage::Table& table,
 
   // Chow–Liu: Prim's maximum spanning tree on pairwise MI.
   if (d > 1) {
+    telemetry::ScopedPhase phase("bayesnet/structure");
     std::vector<bool> in_tree(d, false);
     std::vector<double> best_mi(d, -1.0);
     std::vector<int> best_parent(d, -1);
@@ -114,6 +119,7 @@ void BayesNetTableModel::Fit(const storage::Table& table,
   }
 
   // Parameters: root prior and per-edge CPTs (Laplace-smoothed).
+  telemetry::ScopedPhase phase("bayesnet/cpt");
   prior_[root_].assign(bins_of(root_), 1e-6);
   for (uint64_t i = 0; i < take; ++i) prior_[root_][cols[root_][i]] += 1.0;
   double total = 0;

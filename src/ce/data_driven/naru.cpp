@@ -7,6 +7,7 @@
 #include "src/ce/join_formula.h"
 #include "src/nn/adam.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace ce {
@@ -28,6 +29,7 @@ void SoftmaxInPlace(std::vector<float>* logits) {
 
 void NaruTableModel::Fit(const storage::Table& table, const Options& options,
                          Rng* rng) {
+  telemetry::ScopedPhase fit_phase("naru/table_fit");
   options_ = options;
   modeled_cols_.clear();
   conditionals_.clear();
@@ -86,6 +88,7 @@ void NaruTableModel::Fit(const storage::Table& table, const Options& options,
   }
   std::vector<int> order(take);
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  telemetry::ScopedPhase train_phase("naru/conditional_train");
   for (size_t m = 1; m < modeled_cols_.size(); ++m) {
     nn::Mlp* net = conditionals_[m - 1].get();
     nn::Adam adam(options.learning_rate);

@@ -7,6 +7,7 @@
 #include "src/ce/join_formula.h"
 #include "src/util/logging.h"
 #include "src/util/stats.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace ce {
@@ -32,22 +33,26 @@ void SpnTableModel::Fit(const storage::Table& table, const Options& options,
   // Sampled, binned training matrix [row][modeled col].
   uint64_t n = table.num_rows();
   uint64_t take = std::min(options.max_training_rows, n);
-  std::vector<uint64_t> ids(n);
-  for (uint64_t i = 0; i < n; ++i) ids[i] = i;
-  for (uint64_t i = 0; i < take; ++i) {
-    uint64_t j = i + static_cast<uint64_t>(
-                         rng->UniformInt(0, static_cast<int64_t>(n - i) - 1));
-    std::swap(ids[i], ids[j]);
-  }
   std::vector<std::vector<int>> data(take,
                                      std::vector<int>(modeled_cols_.size()));
-  for (size_t m = 0; m < modeled_cols_.size(); ++m) {
-    const auto& col = table.column(modeled_cols_[m]);
+  {
+    telemetry::ScopedPhase phase("spn/sample_bin");
+    std::vector<uint64_t> ids(n);
+    for (uint64_t i = 0; i < n; ++i) ids[i] = i;
     for (uint64_t i = 0; i < take; ++i) {
-      data[i][m] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
+      uint64_t j = i + static_cast<uint64_t>(
+                           rng->UniformInt(0, static_cast<int64_t>(n - i) - 1));
+      std::swap(ids[i], ids[j]);
+    }
+    for (size_t m = 0; m < modeled_cols_.size(); ++m) {
+      const auto& col = table.column(modeled_cols_[m]);
+      for (uint64_t i = 0; i < take; ++i) {
+        data[i][m] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
+      }
     }
   }
 
+  telemetry::ScopedPhase phase("spn/structure");
   std::vector<uint32_t> rows(take);
   for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   std::vector<int> cols(modeled_cols_.size());

@@ -32,6 +32,7 @@ std::vector<std::string> QueryDrivenNeuralNames() {
 std::unique_ptr<Estimator> MakeEstimator(const std::string& name,
                                          const NeuralOptions& neural,
                                          uint64_t seed) {
+  LCE_LOG(DEBUG) << "MakeEstimator(" << name << ", seed=" << seed << ")";
   NeuralOptions n = neural;
   n.seed = seed;
   if (name == "Histogram") return std::make_unique<HistogramEstimator>();

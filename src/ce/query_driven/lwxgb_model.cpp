@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace ce {
@@ -19,10 +20,14 @@ Status LwXgbEstimator::Build(
   std::vector<float> targets;
   rows.reserve(training.size());
   targets.reserve(training.size());
-  for (const auto& lq : training) {
-    rows.push_back(encoder_->FlatEncode(lq.q, options_.flat_variant));
-    targets.push_back(encoder_->NormalizeLog(lq.cardinality));
+  {
+    telemetry::ScopedPhase phase("lwxgb/encode");
+    for (const auto& lq : training) {
+      rows.push_back(encoder_->FlatEncode(lq.q, options_.flat_variant));
+      targets.push_back(encoder_->NormalizeLog(lq.cardinality));
+    }
   }
+  telemetry::ScopedPhase phase("lwxgb/fit");
   model_ = std::make_unique<gbdt::GradientBoosting>(options_.gbdt);
   model_->Fit(rows, targets);
   return Status::OK();

@@ -7,9 +7,33 @@
 
 #include "src/nn/serialize.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
 
 namespace lce {
 namespace ce {
+
+namespace {
+
+// Per-epoch loss telemetry: the loss lands in a histogram (bench manifests
+// report its trajectory via quantiles), the freshest value in a gauge, and —
+// when tracing — on the epoch's span so the loss curve is readable straight
+// off the timeline.
+void RecordEpochTelemetry(int epoch, double loss, telemetry::TraceSpan* span) {
+  static telemetry::Counter& epochs =
+      telemetry::MetricsRegistry::Global().counter("nn.epochs");
+  static telemetry::Histogram& loss_hist =
+      telemetry::MetricsRegistry::Global().histogram("nn.epoch_loss");
+  static telemetry::Gauge& last_loss =
+      telemetry::MetricsRegistry::Global().gauge("nn.last_epoch_loss");
+  epochs.Increment();
+  loss_hist.Observe(loss);
+  last_loss.Set(loss);
+  span->AddArg("epoch", static_cast<double>(epoch));
+  span->AddArg("loss", loss);
+}
+
+}  // namespace
 
 Status NeuralQueryDrivenEstimator::Prepare(const storage::Database& db) {
   rng_ = Rng(options_.seed);
@@ -54,8 +78,11 @@ Status NeuralQueryDrivenEstimator::Build(
   std::vector<int> order(training.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    telemetry::ScopedPhase phase("nn/epoch");
+    telemetry::TraceSpan span("nn/epoch");
     last_epoch_loss_ = RunEpoch(training, &order, &rng_);
     epoch_losses_.push_back(last_epoch_loss_);
+    RecordEpochTelemetry(epoch, last_epoch_loss_, &span);
   }
   built_ = true;
   return Status::OK();
@@ -112,8 +139,11 @@ Status NeuralQueryDrivenEstimator::UpdateWithQueries(
   std::vector<int> order(queries.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   for (int epoch = 0; epoch < options_.update_epochs; ++epoch) {
+    telemetry::ScopedPhase phase("nn/update_epoch");
+    telemetry::TraceSpan span("nn/update_epoch");
     last_epoch_loss_ = RunEpoch(queries, &order, &rng_);
     epoch_losses_.push_back(last_epoch_loss_);
+    RecordEpochTelemetry(epoch, last_epoch_loss_, &span);
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/parallel.h"
+#include "src/util/telemetry/telemetry.h"
 #include "src/util/timer.h"
 
 namespace lce {
@@ -16,6 +17,7 @@ double QError(double estimate, double truth) {
 
 AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
                                 const std::vector<query::LabeledQuery>& test) {
+  telemetry::ScopedPhase phase("eval/accuracy");
   AccuracyReport report;
   report.qerrors.resize(test.size());
   // Queries score independently, so estimators that declare a thread-safe
@@ -41,16 +43,27 @@ AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
   return report;
 }
 
-double MeanEstimateLatencyMicros(ce::Estimator* estimator,
-                                 const std::vector<query::LabeledQuery>& test,
-                                 size_t cap) {
-  size_t n = std::min(cap, test.size());
-  if (n == 0) return 0;
+LatencyReport MeasureEstimateLatency(
+    ce::Estimator* estimator, const std::vector<query::LabeledQuery>& test,
+    size_t cap) {
+  telemetry::ScopedPhase phase("eval/latency");
+  static telemetry::Histogram& latency_hist =
+      telemetry::MetricsRegistry::Global().histogram("eval.estimate_latency_us");
+  LatencyReport report;
+  report.total = test.size();
+  report.measured = std::min(cap, test.size());
+  report.capped = report.measured < report.total;
+  if (report.measured == 0) return report;
+  std::vector<double> samples(report.measured);
   Timer timer;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < report.measured; ++i) {
+    timer.Reset();
     estimator->EstimateCardinality(test[i].q);
+    samples[i] = timer.ElapsedMicros();
+    latency_hist.Observe(samples[i]);
   }
-  return timer.ElapsedMicros() / static_cast<double>(n);
+  report.micros = Summarize(samples);
+  return report;
 }
 
 }  // namespace eval

@@ -25,10 +25,22 @@ struct AccuracyReport {
 AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
                                 const std::vector<query::LabeledQuery>& test);
 
-/// Mean inference latency in microseconds over (at most `cap`) test queries.
-double MeanEstimateLatencyMicros(ce::Estimator* estimator,
-                                 const std::vector<query::LabeledQuery>& test,
-                                 size_t cap = 200);
+/// Per-query inference latency distribution. Latency sampling stops at a cap
+/// (queries are i.i.d. draws; 200 is plenty for a stable mean) — the report
+/// says so explicitly instead of silently averaging over an invisible subset.
+struct LatencyReport {
+  SampleSummary micros;  // per-query latency distribution (mean, p50/p95/p99)
+  size_t measured = 0;   // queries actually timed
+  size_t total = 0;      // queries available
+  bool capped = false;   // measured < total
+};
+
+/// Times `estimator` on the first min(cap, test.size()) test queries, one
+/// clock read per query, and feeds each sample into the
+/// eval.estimate_latency_us histogram (when LCE_METRICS is on).
+LatencyReport MeasureEstimateLatency(
+    ce::Estimator* estimator, const std::vector<query::LabeledQuery>& test,
+    size_t cap = 200);
 
 }  // namespace eval
 }  // namespace lce

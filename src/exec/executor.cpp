@@ -3,20 +3,53 @@
 #include <unordered_map>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace exec {
+
+namespace {
+
+// Work counters (LCE_METRICS). Bulk-added once per loop, never per row, so
+// the enabled overhead stays negligible next to the scans themselves.
+telemetry::Counter& RowsScanned() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("exec.rows_scanned");
+  return c;
+}
+
+telemetry::Counter& FilterBitmaps() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("exec.filter_bitmaps");
+  return c;
+}
+
+telemetry::Counter& JoinRowsVisited() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("exec.join_rows_visited");
+  return c;
+}
+
+telemetry::Counter& CardinalityQueries() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("exec.cardinality_queries");
+  return c;
+}
+
+}  // namespace
 
 std::vector<uint8_t> FilterBitmap(const storage::Database& db,
                                   const query::Query& q, int table_index) {
   const storage::Table& table = db.table(table_index);
   std::vector<uint8_t> bitmap(table.num_rows(), 1);
+  FilterBitmaps().Increment();
   for (const query::Predicate& p : q.predicates) {
     if (p.col.table != table_index) continue;
     const std::vector<storage::Value>& col = table.column(p.col.column);
     for (uint64_t r = 0; r < col.size(); ++r) {
       if (col[r] < p.lo || col[r] > p.hi) bitmap[r] = 0;
     }
+    RowsScanned().Add(col.size());
   }
   return bitmap;
 }
@@ -99,6 +132,7 @@ double TreeCount(const storage::Database& db, const query::Query& q,
       child_inputs.push_back({&messages[nbr], &table.column(col)});
     }
 
+    JoinRowsVisited().Add(table.num_rows());
     if (f.parent < 0) {
       double total = 0;
       for (uint64_t r = 0; r < table.num_rows(); ++r) {
@@ -147,6 +181,7 @@ double TreeCount(const storage::Database& db, const query::Query& q,
 }  // namespace
 
 double Executor::Cardinality(const query::Query& q) const {
+  CardinalityQueries().Increment();
   return TreeCount(*db_, q, q.tables, q.join_edges);
 }
 

@@ -2,6 +2,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace gbdt {
@@ -15,6 +16,7 @@ constexpr int64_t kRowGrain = 256;
 // only reads the fitted binner).
 std::vector<std::vector<uint8_t>> BinRows(
     const FeatureBinner& binner, const std::vector<std::vector<float>>& rows) {
+  telemetry::ScopedPhase phase("gbdt/bin_rows");
   std::vector<std::vector<uint8_t>> binned(rows.size());
   parallel::ParallelFor(0, static_cast<int64_t>(rows.size()), kRowGrain,
                         [&](int64_t b, int64_t e) {
@@ -69,7 +71,11 @@ void GradientBoosting::AddTrees(
       residual[i] = targets[i] - pred[i];
     }
     RegressionTree tree;
-    tree.Fit(binned, residual, options_.tree, options_.max_bins);
+    {
+      telemetry::ScopedPhase phase("gbdt/tree_fit");
+      tree.Fit(binned, residual, options_.tree, options_.max_bins);
+    }
+    telemetry::ScopedPhase phase("gbdt/update_pred");
     parallel::ParallelFor(0, n, kRowGrain, [&](int64_t b, int64_t e) {
       for (int64_t i = b; i < e; ++i) {
         pred[i] += options_.learning_rate * tree.Predict(binned[i]);

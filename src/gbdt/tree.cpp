@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace gbdt {
@@ -14,6 +16,7 @@ void FeatureBinner::Fit(const std::vector<std::vector<float>>& rows,
                         int max_bins) {
   LCE_CHECK(!rows.empty());
   LCE_CHECK(max_bins >= 2 && max_bins <= 256);
+  telemetry::ScopedPhase phase("gbdt/binner_fit");
   max_bins_ = max_bins;
   size_t d = rows[0].size();
   edges_.assign(d, {});
@@ -112,6 +115,10 @@ int RegressionTree::BuildNode(const std::vector<std::vector<uint8_t>>& binned,
           : std::max<int64_t>(1, (16 << 10) / static_cast<int64_t>(
                                                   std::max<size_t>(
                                                       1, rows.size())));
+  // Scoped to the reduce only, so the recursive child builds below do not
+  // double-count into gbdt/split_search.
+  std::optional<telemetry::ScopedPhase> phase;
+  phase.emplace("gbdt/split_search");
   SplitCandidate best = parallel::ParallelReduce<SplitCandidate>(
       0, static_cast<int64_t>(d), grain, no_split,
       [&](int64_t f0, int64_t f1) {
@@ -150,6 +157,7 @@ int RegressionTree::BuildNode(const std::vector<std::vector<uint8_t>>& binned,
       [](SplitCandidate acc, SplitCandidate chunk) {
         return chunk.gain > acc.gain ? chunk : acc;
       });
+  phase.reset();
   int best_feature = best.feature;
   int best_bin = best.bin;
 

@@ -1,0 +1,394 @@
+#include "src/util/json_writer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace lce {
+
+JsonWriter::JsonWriter(std::string* out, Style style)
+    : out_(out), style_(style) {
+  LCE_CHECK(out != nullptr);
+}
+
+void JsonWriter::NewlineIndent() {
+  if (style_ != Style::kPretty) return;
+  out_->push_back('\n');
+  out_->append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    LCE_CHECK_MSG(!root_written_, "JsonWriter: multiple top-level values");
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    LCE_CHECK_MSG(top.key_pending, "JsonWriter: object value without Key()");
+    top.key_pending = false;
+  } else {
+    if (top.items > 0) out_->push_back(',');
+    NewlineIndent();
+  }
+  ++top.items;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->push_back('{');
+  stack_.push_back({/*is_object=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  LCE_CHECK_MSG(!stack_.empty() && stack_.back().is_object &&
+                    !stack_.back().key_pending,
+                "JsonWriter: unbalanced EndObject()");
+  bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) NewlineIndent();
+  out_->push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->push_back('[');
+  stack_.push_back({/*is_object=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  LCE_CHECK_MSG(!stack_.empty() && !stack_.back().is_object,
+                "JsonWriter: unbalanced EndArray()");
+  bool had_items = stack_.back().items > 0;
+  stack_.pop_back();
+  if (had_items) NewlineIndent();
+  out_->push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  LCE_CHECK_MSG(!stack_.empty() && stack_.back().is_object &&
+                    !stack_.back().key_pending,
+                "JsonWriter: Key() outside an object or after another Key()");
+  if (stack_.back().items > 0) out_->push_back(',');
+  NewlineIndent();
+  out_->push_back('"');
+  out_->append(Escape(key));
+  out_->append(style_ == Style::kPretty ? "\": " : "\":");
+  stack_.back().key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  out_->push_back('"');
+  out_->append(Escape(v));
+  out_->push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  return Value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_->append(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) { return Value(static_cast<int64_t>(v)); }
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_->append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_->append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  if (!std::isfinite(v)) return Null();
+  BeforeValue();
+  char buf[64];
+  int n = std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_->append(buf, static_cast<size_t>(n));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+  return *this;
+}
+
+bool JsonWriter::done() const { return root_written_ && stack_.empty(); }
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace json {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separate 3-byte sequences; good enough for the
+          // ASCII-plus-escapes artifacts this repo emits).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    out->kind = JsonValue::Kind::kNumber;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, out->number);
+    if (ec != std::errc() || ptr != last) return Fail("bad number");
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Parse(std::string_view text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Run(out);
+}
+
+}  // namespace json
+}  // namespace lce

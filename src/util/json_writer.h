@@ -1,0 +1,106 @@
+// Shared JSON emission (and a minimal reader for round-trip validation).
+//
+// JsonWriter replaces the hand-rolled fprintf JSON in the bench binaries and
+// backs every machine-readable artifact the repo produces: BENCH_parallel.json,
+// the per-bench run manifests, and Chrome trace-event exports (LCE_TRACE).
+// It handles string escaping, comma placement, and stable number formatting so
+// emitters can never produce unparseable output.
+//
+// json::Parse is a small recursive-descent parser used by tests (and available
+// to tools) to validate that emitted artifacts actually parse; it builds a
+// plain JsonValue tree and is not optimized for large documents.
+
+#ifndef LCE_UTIL_JSON_WRITER_H_
+#define LCE_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lce {
+
+/// Streaming JSON writer. Usage:
+///
+///   std::string out;
+///   JsonWriter w(&out);
+///   w.BeginObject()
+///       .Key("kernel").Value("matmul")
+///       .Key("threads").Value(int64_t{4})
+///       .Key("speedups").BeginArray().Value(1.0).Value(1.9).EndArray()
+///   .EndObject();
+///
+/// The writer asserts balanced Begin/End and key-before-value in objects via
+/// LCE_CHECK (programming errors, not data errors).
+class JsonWriter {
+ public:
+  enum class Style { kCompact, kPretty };
+
+  explicit JsonWriter(std::string* out, Style style = Style::kPretty);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v);  // without this, char* converts to bool
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(int v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(double v);  // non-finite values emit null (JSON has no NaN)
+  JsonWriter& Null();
+
+  /// True once the single top-level value is complete.
+  bool done() const;
+
+  /// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+  static std::string Escape(std::string_view s);
+
+ private:
+  struct Frame {
+    bool is_object;
+    int items = 0;
+    bool key_pending = false;  // object: Key() seen, value not yet written
+  };
+
+  void BeforeValue();  // comma/indent bookkeeping shared by all Value()s
+  void NewlineIndent();
+
+  std::string* out_;
+  Style style_;
+  std::vector<Frame> stack_;
+  bool root_written_ = false;
+};
+
+namespace json {
+
+/// A parsed JSON document node (null / bool / number / string / array /
+/// object). Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with `key`, or nullptr. Only meaningful for kObject.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text` (one complete JSON value, surrounding whitespace ok) into
+/// `*out`. On failure returns false and, when `error` is non-null, stores a
+/// message with the byte offset of the problem.
+bool Parse(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace json
+}  // namespace lce
+
+#endif  // LCE_UTIL_JSON_WRITER_H_

@@ -1,0 +1,64 @@
+#include "src/util/logging.h"
+
+#include <strings.h>
+
+#include <cstring>
+
+namespace lce {
+namespace logging {
+
+namespace {
+
+Severity ParseSeverity(const char* s, Severity fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  auto eq = [s](const char* word) { return strcasecmp(s, word) == 0; };
+  if (eq("debug") || eq("0")) return Severity::kDEBUG;
+  if (eq("info") || eq("1")) return Severity::kINFO;
+  if (eq("warn") || eq("warning") || eq("2")) return Severity::kWARN;
+  if (eq("error") || eq("3")) return Severity::kERROR;
+  if (eq("off") || eq("none")) return Severity::kOFF;
+  std::fprintf(stderr, "[LCE W logging] unrecognized LCE_LOG_LEVEL=%s; using INFO\n", s);
+  return fallback;
+}
+
+Severity EnvSeverity() {
+  static Severity s =
+      ParseSeverity(std::getenv("LCE_LOG_LEVEL"), Severity::kINFO);
+  return s;
+}
+
+// -1 = follow env; otherwise an explicit test override.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+Severity MinSeverity() {
+  int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<Severity>(o);
+  return EnvSeverity();
+}
+
+void SetMinSeverityForTesting(Severity s) {
+  g_override.store(static_cast<int>(s), std::memory_order_relaxed);
+}
+
+void ResetMinSeverityForTesting() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(const char* file, int line, Severity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  static const char kTags[] = {'D', 'I', 'W', 'E'};
+  int idx = static_cast<int>(severity_);
+  char tag = (idx >= 0 && idx < 4) ? kTags[idx] : '?';
+  const char* base = std::strrchr(file_, '/');
+  base = base != nullptr ? base + 1 : file_;
+  // One fprintf per message keeps concurrent lines from interleaving.
+  std::fprintf(stderr, "[LCE %c %s:%d] %s\n", tag, base, line_,
+               stream_.str().c_str());
+}
+
+}  // namespace logging
+}  // namespace lce

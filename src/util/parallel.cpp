@@ -7,7 +7,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
 
 namespace lce {
 namespace parallel {
@@ -18,6 +23,27 @@ namespace {
 // fanning out again (which could otherwise livelock the fixed-size pool).
 thread_local bool tls_in_pool_worker = false;
 
+// Pool utilization metrics (LCE_METRICS): aggregate across workers via the
+// counters' per-thread shards. Handles are cached once; the registry never
+// invalidates them.
+telemetry::Counter& PoolTasksExecuted() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("pool.tasks_executed");
+  return c;
+}
+
+telemetry::Counter& PoolIdleNs() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("pool.idle_ns");
+  return c;
+}
+
+telemetry::Counter& PoolRegions() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("pool.regions");
+  return c;
+}
+
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -27,13 +53,24 @@ struct ThreadPool::Impl {
   bool stop = false;
   std::vector<std::thread> workers;
 
-  void WorkerLoop() {
+  void WorkerLoop(int worker_index) {
     tls_in_pool_worker = true;
+    telemetry::SetCurrentThreadName("lce-pool-" +
+                                    std::to_string(worker_index));
     for (;;) {
       std::function<void()> task;
       {
+        // Idle time = wall clock spent waiting for work (metrics-gated so
+        // the disabled path never reads a clock).
+        bool measure_idle = telemetry::MetricsEnabled();
+        int64_t idle_start =
+            measure_idle ? telemetry::MonotonicNanos() : 0;
         std::unique_lock<std::mutex> lock(mu);
         cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (measure_idle) {
+          PoolIdleNs().Add(
+              static_cast<uint64_t>(telemetry::MonotonicNanos() - idle_start));
+        }
         if (queue.empty()) {
           if (stop) return;
           continue;
@@ -42,6 +79,7 @@ struct ThreadPool::Impl {
         queue.pop_front();
       }
       task();
+      PoolTasksExecuted().Increment();
     }
   }
 };
@@ -51,7 +89,7 @@ ThreadPool::ThreadPool(int size) : size_(std::max(1, size)), impl_(nullptr) {
   impl_ = new Impl();
   impl_->workers.reserve(static_cast<size_t>(size_ - 1));
   for (int i = 0; i < size_ - 1; ++i) {
-    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+    impl_->workers.emplace_back([this, i] { impl_->WorkerLoop(i); });
   }
 }
 
@@ -85,6 +123,8 @@ int DefaultThreadCount() {
   if (env != nullptr && *env != '\0') {
     int v = std::atoi(env);
     if (v > 0) return v;
+    LCE_LOG(WARN) << "ignoring invalid LCE_THREADS=" << env
+                  << "; using hardware concurrency";
   }
   unsigned hc = std::thread::hardware_concurrency();
   return hc > 0 ? static_cast<int>(hc) : 1;
@@ -101,7 +141,13 @@ ThreadPool* GlobalPool() {
   if (pool != nullptr) return pool;
   std::lock_guard<std::mutex> lock(g_pool_mu);
   if (g_pool_owner == nullptr) {
-    g_pool_owner = std::make_unique<ThreadPool>(DefaultThreadCount());
+    int size = DefaultThreadCount();
+    LCE_LOG(DEBUG) << "thread pool: " << size << " lanes (LCE_THREADS="
+                   << (std::getenv("LCE_THREADS") != nullptr
+                           ? std::getenv("LCE_THREADS")
+                           : "<unset>")
+                   << ")";
+    g_pool_owner = std::make_unique<ThreadPool>(size);
   }
   g_pool.store(g_pool_owner.get(), std::memory_order_release);
   return g_pool_owner.get();
@@ -140,8 +186,12 @@ void ParallelForChunksImpl(
   };
   auto state = std::make_shared<State>();
   const auto* fn_ptr = &fn;
+  PoolRegions().Increment();
+  telemetry::TraceSpan region_span("parallel/region");
+  region_span.AddArg("chunks", static_cast<double>(num_chunks));
 
   auto run_chunks = [state, fn_ptr, begin, end, grain, num_chunks] {
+    telemetry::TraceSpan lane_span("parallel/lane");
     for (;;) {
       int64_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;

@@ -1,0 +1,264 @@
+#include "src/util/telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "src/util/json_writer.h"
+#include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+// Per-thread event buffer. Registered globally on first use and kept alive
+// (shared_ptr) past thread exit so a flush can still read it.
+struct ThreadTraceBuffer {
+  uint32_t tid;
+  std::string thread_name;
+  std::vector<TraceEvent> events;
+  std::mutex mu;  // owner thread appends; flush/snapshot reads concurrently
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::atomic<uint32_t> next_tid{1};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadTraceBuffer>();
+    TraceState& s = State();
+    b->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string EnvTracePath() {
+  static std::string v = [] {
+    const char* e = std::getenv("LCE_TRACE");
+    return std::string(e != nullptr ? e : "");
+  }();
+  return v;
+}
+
+std::mutex g_path_mu;
+bool g_path_overridden = false;
+std::string g_path_override;
+// Fast-path flag mirroring "path is non-empty".
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_enabled_initialized{false};
+
+void InitEnabledFlag() {
+  if (g_enabled_initialized.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (g_enabled_initialized.load(std::memory_order_relaxed)) return;
+  bool on = !EnvTracePath().empty();
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_enabled_initialized.store(true, std::memory_order_release);
+  if (on) {
+    // Examples/tests that never construct a BenchRun still get their trace.
+    std::atexit([] { WriteTraceIfEnabled(); });
+  }
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  InitEnabledFlag();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracePathForTesting(const char* path) {
+  InitEnabledFlag();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (path == nullptr) {
+    g_path_overridden = false;
+    g_enabled.store(!EnvTracePath().empty(), std::memory_order_relaxed);
+  } else {
+    g_path_overridden = true;
+    g_path_override = path;
+    g_enabled.store(!g_path_override.empty(), std::memory_order_relaxed);
+  }
+}
+
+std::string TracePath() {
+  InitEnabledFlag();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  return g_path_overridden ? g_path_override : EnvTracePath();
+}
+
+void SetCurrentThreadName(std::string name) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.thread_name = std::move(name);
+}
+
+namespace internal {
+
+void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
+                         std::vector<std::pair<std::string, double>> args) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns - start_ns;
+  event.tid = buffer.tid;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace internal
+
+TraceSpan::TraceSpan(const char* name) : active_(TraceEnabled()) {
+  if (!active_) return;
+  name_ = name;
+  start_ns_ = MonotonicNanos();
+}
+
+TraceSpan::TraceSpan(std::string name) : active_(TraceEnabled()) {
+  if (!active_) return;
+  name_ = std::move(name);
+  start_ns_ = MonotonicNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  internal::AppendCompleteEvent(std::move(name_), start_ns_, MonotonicNanos(),
+                                std::move(args_));
+}
+
+void TraceSpan::AddArg(const char* key, double value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+
+namespace {
+
+// Snapshot of every buffer, in tid order, events in recording order.
+std::vector<std::pair<TraceEvent, std::string>> CollectEvents() {
+  TraceState& s = State();
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<std::pair<TraceEvent, std::string>> out;  // event, thread name
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    for (const TraceEvent& e : b->events) {
+      out.emplace_back(e, b->thread_name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteTraceIfEnabled() {
+  std::string path = TracePath();
+  if (path.empty()) return;
+  auto events = CollectEvents();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.start_ns < b.first.start_ns;
+                   });
+
+  std::string out;
+  out.reserve(events.size() * 128 + 256);
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  w.BeginObject()
+      .Key("ph").Value("M")
+      .Key("name").Value("process_name")
+      .Key("pid").Value(1)
+      .Key("tid").Value(0)
+      .Key("args").BeginObject().Key("name").Value("lce").EndObject()
+      .EndObject();
+  // Thread-name metadata: one event per named thread.
+  {
+    TraceState& s = State();
+    std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      buffers = s.buffers;
+    }
+    for (const auto& b : buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      if (b->thread_name.empty()) continue;
+      w.BeginObject()
+          .Key("ph").Value("M")
+          .Key("name").Value("thread_name")
+          .Key("pid").Value(1)
+          .Key("tid").Value(uint64_t{b->tid})
+          .Key("args").BeginObject().Key("name").Value(b->thread_name).EndObject()
+          .EndObject();
+    }
+  }
+  for (const auto& [e, thread_name] : events) {
+    w.BeginObject()
+        .Key("ph").Value("X")
+        .Key("name").Value(e.name)
+        .Key("cat").Value("lce")
+        .Key("pid").Value(1)
+        .Key("tid").Value(uint64_t{e.tid})
+        .Key("ts").Value(static_cast<double>(e.start_ns) / 1000.0)
+        .Key("dur").Value(static_cast<double>(e.dur_ns) / 1000.0);
+    if (!e.args.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [k, v] : e.args) w.Key(k).Value(v);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LCE_LOG(ERROR) << "cannot open trace output " << path;
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  LCE_LOG(INFO) << "wrote " << events.size() << " trace events to " << path;
+}
+
+std::vector<TraceEvent> SnapshotTraceEventsForTesting() {
+  std::vector<TraceEvent> out;
+  for (auto& [e, name] : CollectEvents()) out.push_back(std::move(e));
+  return out;
+}
+
+void ClearTraceForTesting() {
+  TraceState& s = State();
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  for (const auto& b : buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->events.clear();
+  }
+}
+
+}  // namespace telemetry
+}  // namespace lce

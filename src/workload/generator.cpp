@@ -4,9 +4,26 @@
 
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace workload {
+
+namespace {
+
+telemetry::Counter& QueriesLabeled() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("workload.queries_labeled");
+  return c;
+}
+
+telemetry::Counter& LabelFallbacks() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().counter("workload.label_fallbacks");
+  return c;
+}
+
+}  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const storage::Database* db,
                                      WorkloadOptions options)
@@ -176,17 +193,23 @@ query::LabeledQuery WorkloadGenerator::LabelOne(Rng* rng) const {
   }
   if (!found) {
     // Guaranteed-nonempty fallback: an unfiltered single-table scan.
+    LCE_LOG_EVERY_N(WARN, 64)
+        << "query labeling exhausted " << options_.max_attempts_per_query
+        << " attempts; emitting unfiltered single-table fallback";
+    LabelFallbacks().Increment();
     q = query::Query{};
     q.tables = {static_cast<int>(rng->Below(
         static_cast<uint32_t>(db_->num_tables())))};
     card = static_cast<double>(db_->table(q.tables[0]).num_rows());
   }
+  QueriesLabeled().Increment();
   return {std::move(q), card};
 }
 
 std::vector<query::LabeledQuery> WorkloadGenerator::GenerateLabeled(
     int n, Rng* rng) const {
   if (n <= 0) return {};
+  telemetry::ScopedPhase phase("workload/label");
   if (parallel::ThreadCount() <= 1) {
     // Sequential path: consumes `rng` exactly like older releases, keeping
     // seeded single-thread runs byte-identical.
@@ -234,10 +257,16 @@ std::vector<query::LabeledQuery> WorkloadGenerator::GenerateLabeled(
       consumed = i + 1;
       if (cards[i] >= options_.min_cardinality) {
         out.push_back({std::move(batch[i]), cards[i]});
+        QueriesLabeled().Increment();
         attempts_used = 0;
       } else if (++attempts_used >= options_.max_attempts_per_query) {
         // The sequential fallback draw interleaves into the generation
         // stream, so the speculation past this candidate is invalid.
+        LCE_LOG_EVERY_N(WARN, 64)
+            << "query labeling exhausted " << options_.max_attempts_per_query
+            << " attempts; emitting unfiltered single-table fallback";
+        LabelFallbacks().Increment();
+        QueriesLabeled().Increment();
         *rng = state_after[i];
         query::Query q;
         q.tables = {static_cast<int>(

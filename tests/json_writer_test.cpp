@@ -1,0 +1,87 @@
+#include "src/util/json_writer.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+TEST(JsonWriterTest, CompactObjectWithNestedArray) {
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginObject()
+      .Key("kernel").Value("matmul")
+      .Key("threads").Value(int64_t{4})
+      .Key("ok").Value(true)
+      .Key("speedups").BeginArray().Value(1.0).Value(1.9).EndArray()
+      .EndObject();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(out,
+            "{\"kernel\":\"matmul\",\"threads\":4,\"ok\":true,"
+            "\"speedups\":[1,1.9]}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginArray()
+      .Value(std::numeric_limits<double>::quiet_NaN())
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(1.5)
+      .EndArray();
+  EXPECT_EQ(out, "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, PrettyStyleParsesBack) {
+  std::string out;
+  JsonWriter w(&out);  // kPretty
+  w.BeginObject()
+      .Key("name").Value("bench")
+      .Key("values").BeginArray().Value(1).Value(2).Value(3).EndArray()
+      .Key("nested").BeginObject().Key("x").Null().EndObject()
+      .EndObject();
+  json::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json::Parse(out, &v, &error)) << error;
+  ASSERT_EQ(v.kind, json::JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Find("name")->string, "bench");
+  EXPECT_EQ(v.Find("values")->array.size(), 3u);
+  EXPECT_EQ(v.Find("nested")->Find("x")->kind, json::JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, RoundTripsEscapedStrings) {
+  std::string original = "line1\nline2 \"quoted\" back\\slash";
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginObject().Key("s").Value(original).EndObject();
+  json::JsonValue v;
+  ASSERT_TRUE(json::Parse(out, &v));
+  EXPECT_EQ(v.Find("s")->string, original);
+}
+
+TEST(JsonParseTest, ParsesUnicodeEscapesAndNumbers) {
+  json::JsonValue v;
+  ASSERT_TRUE(json::Parse(R"({"u":"A\u00e9","n":-1.25e2})", &v));
+  EXPECT_EQ(v.Find("u")->string, "A\xc3\xa9");
+  EXPECT_DOUBLE_EQ(v.Find("n")->number, -125.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  json::JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json::Parse("{\"a\":}", &v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json::Parse("[1,2", &v));
+  EXPECT_FALSE(json::Parse("{} trailing", &v));
+}
+
+}  // namespace
+}  // namespace lce

@@ -1,0 +1,80 @@
+#include "src/util/logging.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace logging {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetMinSeverityForTesting(); }
+};
+
+TEST_F(LoggingTest, MessagesBelowThresholdNeverEvaluateOperands) {
+  SetMinSeverityForTesting(Severity::kWARN);
+  int evaluations = 0;
+  auto count = [&] {
+    ++evaluations;
+    return 1;
+  };
+  LCE_LOG(DEBUG) << count();
+  LCE_LOG(INFO) << count();
+  EXPECT_EQ(evaluations, 0);
+  testing::internal::CaptureStderr();
+  LCE_LOG(WARN) << count();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, EmitsSingleTaggedLine) {
+  SetMinSeverityForTesting(Severity::kDEBUG);
+  testing::internal::CaptureStderr();
+  LCE_LOG(ERROR) << "failure " << 42;
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[LCE E"), std::string::npos);
+  EXPECT_NE(out.find("logging_test.cpp"), std::string::npos);
+  EXPECT_NE(out.find("failure 42"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out.find('\n'), out.size() - 1);  // exactly one line
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetMinSeverityForTesting(Severity::kOFF);
+  testing::internal::CaptureStderr();
+  LCE_LOG(ERROR) << "should not appear";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, LogEveryNSamplesFirstThenEveryNth) {
+  SetMinSeverityForTesting(Severity::kDEBUG);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 7; ++i) {
+    LCE_LOG_EVERY_N(INFO, 3) << "tick " << i;
+  }
+  std::string out = testing::internal::GetCapturedStderr();
+  // Executions 0, 3, 6 log.
+  EXPECT_NE(out.find("tick 0"), std::string::npos);
+  EXPECT_EQ(out.find("tick 1"), std::string::npos);
+  EXPECT_EQ(out.find("tick 2"), std::string::npos);
+  EXPECT_NE(out.find("tick 3"), std::string::npos);
+  EXPECT_NE(out.find("tick 6"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SeverityOrderingMatchesThreshold) {
+  SetMinSeverityForTesting(Severity::kINFO);
+  testing::internal::CaptureStderr();
+  LCE_LOG(DEBUG) << "hidden";
+  LCE_LOG(INFO) << "shown-info";
+  LCE_LOG(WARN) << "shown-warn";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown-info"), std::string::npos);
+  EXPECT_NE(out.find("shown-warn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logging
+}  // namespace lce
