@@ -20,6 +20,7 @@
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/table_printer.h"
+#include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/run_manifest.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
@@ -28,6 +29,20 @@
 
 namespace lce {
 namespace bench {
+
+/// Directory for bench artifacts (manifests, JSON outputs), relative to the
+/// working directory. Override with LCE_BENCH_OUT_DIR; writers create it on
+/// demand, so a fresh checkout needs no setup.
+inline std::string BenchOutDir() {
+  const char* v = std::getenv("LCE_BENCH_OUT_DIR");
+  return (v != nullptr && *v != '\0') ? std::string(v)
+                                      : std::string("bench/out");
+}
+
+/// `BenchOutDir()/name` — the canonical path for one bench artifact.
+inline std::string BenchOutPath(const std::string& name) {
+  return BenchOutDir() + "/" + name;
+}
 
 /// A database with labeled train/test workloads, ready for estimators.
 struct BenchDb {
@@ -80,6 +95,10 @@ inline BenchDb MakeBenchDb(const storage::datagen::DatabaseGenSpec& spec,
   out.spec = spec;
   out.db = storage::datagen::Generate(spec, cfg.seed);
   out.executor = std::make_unique<exec::Executor>(out.db.get());
+  // This is the ground-truth oracle the benches replay plans against; its
+  // calls go to the query log (LCE_QUERY_LOG). The generator's bulk labeler
+  // and the sampling estimator's internal executor stay un-logged.
+  out.executor->EnableQueryLog();
   workload::WorkloadOptions wopts;
   wopts.max_joins = out.db->num_tables() > 1 ? cfg.max_joins : 0;
   workload::WorkloadGenerator gen(out.db.get(), wopts);
@@ -152,8 +171,9 @@ inline EstimatorRun RunEstimator(const std::string& name, const BenchDb& bench,
   return run;
 }
 
-/// RAII per-binary harness: times the whole run and, on destruction, writes
-/// BENCH_manifest_<name>.json plus the LCE_TRACE file (if enabled).
+/// RAII per-binary harness: times the whole run and, on destruction, flushes
+/// the query log and writes BenchOutDir()/BENCH_manifest_<name>.json plus the
+/// LCE_TRACE file (if enabled).
 class BenchRun {
  public:
   explicit BenchRun(std::string name) : name_(std::move(name)) {
@@ -162,8 +182,10 @@ class BenchRun {
                   << parallel::ThreadCount() << " threads)";
   }
   ~BenchRun() {
-    telemetry::WriteRunManifest("BENCH_manifest_" + name_ + ".json", name_,
-                                timer_.ElapsedSeconds());
+    telemetry::QueryLog::Global().Flush();
+    telemetry::WriteRunManifest(
+        BenchOutPath("BENCH_manifest_" + name_ + ".json"), name_,
+        timer_.ElapsedSeconds());
     telemetry::WriteTraceIfEnabled();
   }
   BenchRun(const BenchRun&) = delete;

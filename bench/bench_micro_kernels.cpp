@@ -4,7 +4,7 @@
 //
 // The custom main() additionally sweeps the thread-pool size over the
 // parallel kernels (MatMul and workload labeling) and writes the wall-clock
-// results to BENCH_parallel.json in the working directory, so CI and the
+// results to BENCH_parallel.json in the bench output directory, so CI and the
 // experiment scripts can chart threads-vs-speedup without parsing
 // human-oriented benchmark output.
 
@@ -23,6 +23,8 @@
 #include "src/exec/hash_index.h"
 #include "src/nn/matrix.h"
 #include "src/storage/datagen.h"
+#include "bench/bench_common.h"
+#include "src/util/fs.h"
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
@@ -190,7 +192,7 @@ struct SweepResult {
 
 // Sweeps the two headline parallel paths (dense MatMul, ground-truth workload
 // labeling) over pool sizes and writes BENCH_parallel.json.
-void WriteParallelSweepJson(const char* path) {
+void WriteParallelSweepJson(const std::string& path) {
   std::vector<int> thread_counts = {1, 2, 4};
   std::vector<SweepResult> results;
 
@@ -244,14 +246,12 @@ void WriteParallelSweepJson(const char* path) {
   }
   w.EndArray().EndObject();
 
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    LCE_LOG(ERROR) << "cannot open " << path << " for writing";
+  out.push_back('\n');
+  lce::Status written = lce::fs::WriteStringToFile(path, out);
+  if (!written.ok()) {
+    LCE_LOG(ERROR) << "cannot write parallel sweep: " << written.ToString();
     return;
   }
-  std::fwrite(out.data(), 1, out.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
   LCE_LOG(INFO) << "wrote " << path;
 }
 
@@ -263,9 +263,10 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  WriteParallelSweepJson("BENCH_parallel.json");
-  lce::telemetry::WriteRunManifest("BENCH_manifest_micro_kernels.json",
-                                   "micro_kernels", wall.ElapsedSeconds());
+  WriteParallelSweepJson(lce::bench::BenchOutPath("BENCH_parallel.json"));
+  lce::telemetry::WriteRunManifest(
+      lce::bench::BenchOutPath("BENCH_manifest_micro_kernels.json"),
+      "micro_kernels", wall.ElapsedSeconds());
   lce::telemetry::WriteTraceIfEnabled();
   return 0;
 }

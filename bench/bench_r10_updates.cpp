@@ -1,8 +1,13 @@
 // R10 — Data updates / drift: append distribution-shifted rows, then compare
 // (a) the stale model, (b) the incrementally updated model, (c) a full
-// rebuild, all scored on post-drift test queries.
+// rebuild, all scored on post-drift test queries. A per-model drift monitor
+// (threshold = 4x the pre-drift windowed p95) watches the stale model's
+// q-error stream and reports how many post-drift queries it takes to alert.
+
+#include <algorithm>
 
 #include "bench/bench_common.h"
+#include "src/util/telemetry/drift.h"
 
 int main() {
   using namespace lce;
@@ -49,12 +54,39 @@ int main() {
     auto post_test = gen.GenerateLabeled(200, &rng);
     auto post_train = gen.GenerateLabeled(400, &rng);
 
-    TablePrinter table({"estimator", "stale", "updated", "rebuilt"});
+    TablePrinter table(
+        {"estimator", "stale", "detect lag", "updated", "rebuilt"});
     for (size_t m = 0; m < models.size(); ++m) {
       if (built[m] == nullptr) continue;
       std::vector<std::string> row = {models[m]};
-      row.push_back(TablePrinter::Num(
-          eval::EvaluateAccuracy(built[m].get(), post_test).summary.geo_mean));
+
+      // Arm a drift monitor on the model's pre-drift error profile: window
+      // p95 over the original test set sets the alert threshold at 4x (floor
+      // 2), so the alert fires only on a genuine post-drift degradation.
+      eval::AccuracyReport pre =
+          eval::EvaluateAccuracy(built[m].get(), bench.test);
+      telemetry::WindowedQuantileSketch pre_sketch(
+          std::max<size_t>(1, pre.qerrors.size()));
+      for (double qe : pre.qerrors) pre_sketch.Observe(qe);
+      telemetry::DriftMonitor::Options mopts;
+      mopts.window = std::min<size_t>(
+          64, std::max<size_t>(8, pre.qerrors.size() / 2));
+      mopts.threshold_p95 = std::max(4.0 * pre_sketch.Quantile(0.95), 2.0);
+      telemetry::DriftMonitor monitor(models[m] + "@" + bench.name, mopts);
+      for (double qe : pre.qerrors) monitor.Observe(qe);
+      monitor.DrainAlerts();  // discard any arming-phase crossings
+      uint64_t drift_start = monitor.observations();
+
+      eval::AccuracyReport stale =
+          eval::EvaluateAccuracy(built[m].get(), post_test);
+      row.push_back(TablePrinter::Num(stale.summary.geo_mean));
+      for (double qe : stale.qerrors) monitor.Observe(qe);
+      std::vector<telemetry::DriftAlert> alerts = monitor.DrainAlerts();
+      row.push_back(alerts.empty()
+                        ? std::string("-")
+                        : std::to_string(alerts.front().observation -
+                                         drift_start) +
+                              " q");
 
       // Incremental update: data refresh when supported, otherwise feedback
       // queries from the post-drift workload.

@@ -3,8 +3,10 @@
 // Jensen–Shannon divergence of predicate-center histograms.
 
 #include <algorithm>
+#include <memory>
 
 #include "bench/bench_common.h"
+#include "src/util/telemetry/drift.h"
 
 namespace {
 
@@ -74,6 +76,13 @@ int main() {
 
   TablePrinter table({"drift level", "JSD(train,test)", "Histogram", "FCN",
                       "MSCN", "LW-XGB"});
+  // Per-model drift monitors, armed on the no-drift level: threshold = 4x
+  // the in-distribution windowed p95 (floor 2). Each later level streams its
+  // q-errors through the monitor; the first alert's index within the level
+  // is the detection lag in queries.
+  std::vector<std::unique_ptr<telemetry::DriftMonitor>> monitors;
+  TablePrinter lag_table(
+      {"drift level", "Histogram", "FCN", "MSCN", "LW-XGB"});
   for (const DriftLevel& level : levels) {
     workload::WorkloadOptions test_opts = train_opts;
     test_opts.center_lo = level.lo;
@@ -83,12 +92,41 @@ int main() {
     double jsd =
         JensenShannonDivergence(train_hist, CenterHistogram(test, *bench.db));
     std::vector<std::string> row = {level.label, TablePrinter::Fixed(jsd, 4)};
-    for (auto& est : built) {
-      row.push_back(TablePrinter::Num(
-          eval::EvaluateAccuracy(est.get(), test).summary.geo_mean));
+    std::vector<std::string> lag_row = {level.label};
+    const bool arming = monitors.empty();
+    for (size_t m = 0; m < built.size(); ++m) {
+      eval::AccuracyReport rep = eval::EvaluateAccuracy(built[m].get(), test);
+      row.push_back(TablePrinter::Num(rep.summary.geo_mean));
+      if (arming) {
+        telemetry::WindowedQuantileSketch sketch(
+            std::max<size_t>(1, rep.qerrors.size()));
+        for (double qe : rep.qerrors) sketch.Observe(qe);
+        telemetry::DriftMonitor::Options mopts;
+        mopts.window = std::min<size_t>(
+            64, std::max<size_t>(8, rep.qerrors.size() / 2));
+        mopts.threshold_p95 = std::max(4.0 * sketch.Quantile(0.95), 2.0);
+        monitors.push_back(std::make_unique<telemetry::DriftMonitor>(
+            models[m] + "@r14", mopts));
+        for (double qe : rep.qerrors) monitors[m]->Observe(qe);
+        monitors[m]->DrainAlerts();  // arming-phase crossings don't count
+        lag_row.push_back("baseline");
+      } else {
+        uint64_t before = monitors[m]->observations();
+        for (double qe : rep.qerrors) monitors[m]->Observe(qe);
+        std::vector<telemetry::DriftAlert> alerts =
+            monitors[m]->DrainAlerts();
+        lag_row.push_back(
+            alerts.empty()
+                ? std::string("-")
+                : std::to_string(alerts.front().observation - before) + " q");
+      }
     }
     table.AddRow(row);
+    lag_table.AddRow(lag_row);
   }
   table.Print();
+  std::printf("\ndrift detection lag (queries until windowed-p95 alert, "
+              "threshold = 4x in-distribution p95):\n");
+  lag_table.Print();
   return 0;
 }

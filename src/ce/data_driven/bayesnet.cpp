@@ -240,6 +240,20 @@ Status BayesNetEstimator::UpdateWithData(const storage::Database& db) {
 }
 
 double BayesNetEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double BayesNetEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                                  ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double BayesNetEstimator::EstimateImpl(const query::Query& q,
+                                       ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
@@ -247,8 +261,31 @@ double BayesNetEstimator::EstimateCardinality(const query::Query& q) {
     for (const query::Predicate& p : q.predicates) {
       if (p.col.table == t) ranges[p.col.column] = {{p.lo, p.hi}};
     }
-    return table_rows_[t] * models_[t].Selectivity(ranges);
+    double sel = models_[t].Selectivity(ranges);
+    if (rec != nullptr) {
+      rec->AddCounter("table_sel.t" + std::to_string(t), sel);
+    }
+    return table_rows_[t] * sel;
   };
+  int modeled = 0, unmodeled = 0;
+  if (rec != nullptr) {
+    for (const query::Predicate& p : q.predicates) {
+      if (models_[p.col.table].ModelsColumn(p.col.column)) {
+        ++modeled;
+        // Message passing scores the conjunction jointly; no per-predicate
+        // attribution.
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "bayesnet"});
+      } else {
+        ++unmodeled;
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "uniform_fallback"});
+        rec->AddFallback("bayesnet.unmodeled_column_uniform",
+                         "table=" + std::to_string(p.col.table) + " column=" +
+                             std::to_string(p.col.column));
+      }
+    }
+  }
   double correction =
       options_.use_fanout_correction ? fanout_.CorrectionFactor(q) : 1.0;
   double base =
@@ -257,6 +294,11 @@ double BayesNetEstimator::EstimateCardinality(const query::Query& q) {
           : CombineWithJoinFormula(*schema_, q, filtered_rows, [&](int t, int c) {
               return static_cast<double>(distinct_[t][c]);
             });
+  if (rec != nullptr) {
+    rec->AddCounter("modeled_predicates", static_cast<double>(modeled));
+    rec->AddCounter("unmodeled_predicates", static_cast<double>(unmodeled));
+    rec->AddCounter("fanout_correction", correction);
+  }
   return std::max(1.0, base * correction);
 }
 

@@ -40,6 +40,13 @@ class BayesNetTableModel {
                                                 storage::Value>>>& ranges)
       const;
 
+  /// True when table-local column `c` is covered by the network (non-key);
+  /// constrained unmodeled columns take the uniform fallback.
+  bool ModelsColumn(int c) const {
+    return c >= 0 && c < static_cast<int>(model_index_of_col_.size()) &&
+           model_index_of_col_[c] >= 0;
+  }
+
   uint64_t SizeBytes() const;
 
  private:
@@ -73,10 +80,14 @@ class BayesNetEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   BayesNetTableModel::Options options_;
   uint64_t seed_;
   const storage::DatabaseSchema* schema_ = nullptr;

@@ -144,7 +144,7 @@ std::vector<float> NaruTableModel::Conditional(
 double NaruTableModel::Selectivity(
     const std::vector<std::optional<std::pair<storage::Value, storage::Value>>>&
         ranges,
-    Rng* rng) const {
+    Rng* rng, NaruSamplingStats* stats) const {
   if (modeled_cols_.empty()) return 1.0;
   // Progressive sampling only needs columns up to the last constrained one.
   int last = -1;
@@ -152,6 +152,10 @@ double NaruTableModel::Selectivity(
     if (ranges[modeled_cols_[m]].has_value()) last = static_cast<int>(m);
   }
   if (last < 0) return 1.0;
+  if (stats != nullptr) {
+    stats->num_samples += options_.num_samples;
+    stats->sampled_columns += last + 1;
+  }
 
   double total_weight = 0;
   for (int s = 0; s < options_.num_samples; ++s) {
@@ -172,6 +176,7 @@ double NaruTableModel::Selectivity(
         }
         if (mass <= 0) {
           weight = 0;
+          if (stats != nullptr) ++stats->zero_weight_paths;
           break;
         }
         weight *= mass;
@@ -230,15 +235,50 @@ Status NaruEstimator::UpdateWithData(const storage::Database& db) {
 }
 
 double NaruEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double NaruEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                              ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double NaruEstimator::EstimateImpl(const query::Query& q, ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  NaruSamplingStats total;
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
         ranges(schema_->tables[t].columns.size());
     for (const query::Predicate& p : q.predicates) {
       if (p.col.table == t) ranges[p.col.column] = {{p.lo, p.hi}};
     }
-    return table_rows_[t] * models_[t].Selectivity(ranges, &rng_);
+    double sel = models_[t].Selectivity(ranges, &rng_,
+                                        rec != nullptr ? &total : nullptr);
+    if (rec != nullptr) {
+      rec->AddCounter("table_sel.t" + std::to_string(t), sel);
+    }
+    return table_rows_[t] * sel;
   };
+  if (rec != nullptr) {
+    for (const query::Predicate& p : q.predicates) {
+      if (models_[p.col.table].ModelsColumn(p.col.column)) {
+        // Progressive sampling scores the conjunction jointly; no
+        // per-predicate attribution.
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "progressive_sampling"});
+      } else {
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "ignored_unmodeled"});
+        rec->AddFallback("naru.unmodeled_column_ignored",
+                         "table=" + std::to_string(p.col.table) + " column=" +
+                             std::to_string(p.col.column));
+      }
+    }
+  }
   double correction =
       options_.use_fanout_correction ? fanout_.CorrectionFactor(q) : 1.0;
   double base =
@@ -247,6 +287,13 @@ double NaruEstimator::EstimateCardinality(const query::Query& q) {
           : CombineWithJoinFormula(*schema_, q, filtered_rows, [&](int t, int c) {
               return static_cast<double>(distinct_[t][c]);
             });
+  if (rec != nullptr) {
+    rec->AddCounter("sampling_budget", static_cast<double>(total.num_samples));
+    rec->AddCounter("zero_weight_paths",
+                    static_cast<double>(total.zero_weight_paths));
+    rec->AddCounter("sampled_columns",
+                    static_cast<double>(total.sampled_columns));
+  }
   return std::max(1.0, base * correction);
 }
 

@@ -11,6 +11,7 @@
 #ifndef LCE_CE_DATA_DRIVEN_NARU_H_
 #define LCE_CE_DATA_DRIVEN_NARU_H_
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -24,6 +25,14 @@
 
 namespace lce {
 namespace ce {
+
+/// Statistics of one progressive-sampling Selectivity call: the sampling
+/// budget spent and how many paths died on zero range mass.
+struct NaruSamplingStats {
+  int num_samples = 0;
+  int zero_weight_paths = 0;
+  int sampled_columns = 0;  // modeled columns visited per path (last + 1)
+};
 
 /// Autoregressive model of one table.
 class NaruTableModel {
@@ -49,11 +58,20 @@ class NaruTableModel {
 
   /// P(lo_c <= col_c <= hi_c for all constrained c). `ranges` is indexed by
   /// table-local column; unconstrained columns are nullopt. Uses progressive
-  /// sampling with options.num_samples paths.
+  /// sampling with options.num_samples paths. `stats`, when non-null, counts
+  /// sampling-budget spend and zero-mass paths without drawing any extra
+  /// randomness, so `rng` advances exactly as in the plain call.
   double Selectivity(
       const std::vector<std::optional<std::pair<storage::Value,
                                                 storage::Value>>>& ranges,
-      Rng* rng) const;
+      Rng* rng, NaruSamplingStats* stats = nullptr) const;
+
+  /// True when table-local column `c` is modeled (non-key). Constraints on
+  /// unmodeled columns are silently ignored by Selectivity.
+  bool ModelsColumn(int c) const {
+    return std::find(modeled_cols_.begin(), modeled_cols_.end(), c) !=
+           modeled_cols_.end();
+  }
 
   uint64_t SizeBytes() const;
 
@@ -81,10 +99,14 @@ class NaruEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   NaruTableModel::Options options_;
   uint64_t seed_;
   Rng rng_;

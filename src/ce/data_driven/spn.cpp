@@ -198,10 +198,12 @@ int SpnTableModel::BuildNode(const std::vector<std::vector<int>>& data,
 
 double SpnTableModel::EvalNode(
     int node, const std::vector<std::vector<std::pair<int, double>>*>&
-                  overlaps_by_col) const {
+                  overlaps_by_col,
+    SpnEvalStats* stats) const {
   const Node& nd = nodes_[node];
   switch (nd.kind) {
     case Node::Kind::kLeaf: {
+      if (stats != nullptr) ++stats->leaf_visits;
       const auto* overlap = overlaps_by_col[nd.column];
       if (overlap == nullptr) return 1.0;  // unconstrained column
       double p = 0;
@@ -209,14 +211,16 @@ double SpnTableModel::EvalNode(
       return p;
     }
     case Node::Kind::kProduct: {
+      if (stats != nullptr) ++stats->product_visits;
       double p = 1.0;
-      for (int c : nd.children) p *= EvalNode(c, overlaps_by_col);
+      for (int c : nd.children) p *= EvalNode(c, overlaps_by_col, stats);
       return p;
     }
     case Node::Kind::kSum: {
+      if (stats != nullptr) ++stats->sum_visits;
       double p = 0;
       for (size_t i = 0; i < nd.children.size(); ++i) {
-        p += nd.weights[i] * EvalNode(nd.children[i], overlaps_by_col);
+        p += nd.weights[i] * EvalNode(nd.children[i], overlaps_by_col, stats);
       }
       return p;
     }
@@ -226,7 +230,10 @@ double SpnTableModel::EvalNode(
 
 double SpnTableModel::Selectivity(
     const std::vector<std::optional<std::pair<storage::Value, storage::Value>>>&
-        ranges) const {
+        ranges,
+    SpnEvalStats* stats) const {
+  static telemetry::Counter& fallback_counter =
+      telemetry::MetricsRegistry::Global().counter("ce.spn.uniform_fallback");
   double uniform_factor = 1.0;
   std::vector<std::vector<std::pair<int, double>>> overlaps(ranges.size());
   std::vector<std::vector<std::pair<int, double>>*> by_col(ranges.size(),
@@ -235,16 +242,19 @@ double SpnTableModel::Selectivity(
     if (!ranges[c].has_value()) continue;
     if (model_index_of_col_[c] < 0) {
       // Key column constrained: uniform fallback over its bin domain.
+      fallback_counter.Increment();
       auto ov = binners_[c].Overlap(ranges[c]->first, ranges[c]->second);
       double frac = 0;
       for (auto [bin, f] : ov) frac += f;
       uniform_factor *= std::min(1.0, frac / binners_[c].num_bins());
+      if (stats != nullptr) ++stats->uniform_fallbacks;
       continue;
     }
     overlaps[c] = binners_[c].Overlap(ranges[c]->first, ranges[c]->second);
     by_col[c] = &overlaps[c];
   }
-  double p = root_ >= 0 ? EvalNode(root_, by_col) : 1.0;
+  if (stats != nullptr) stats->uniform_factor = uniform_factor;
+  double p = root_ >= 0 ? EvalNode(root_, by_col, stats) : 1.0;
   return std::clamp(p * uniform_factor, 0.0, 1.0);
 }
 
@@ -294,15 +304,54 @@ Status SpnEstimator::UpdateWithData(const storage::Database& db) {
 }
 
 double SpnEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double SpnEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                             ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double SpnEstimator::EstimateImpl(const query::Query& q, ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  SpnEvalStats total;
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
         ranges(schema_->tables[t].columns.size());
     for (const query::Predicate& p : q.predicates) {
       if (p.col.table == t) ranges[p.col.column] = {{p.lo, p.hi}};
     }
-    return table_rows_[t] * models_[t].Selectivity(ranges);
+    if (rec == nullptr) {
+      return table_rows_[t] * models_[t].Selectivity(ranges);
+    }
+    SpnEvalStats stats;
+    double sel = models_[t].Selectivity(ranges, &stats);
+    total.leaf_visits += stats.leaf_visits;
+    total.product_visits += stats.product_visits;
+    total.sum_visits += stats.sum_visits;
+    total.uniform_fallbacks += stats.uniform_fallbacks;
+    rec->AddCounter("table_sel.t" + std::to_string(t), sel);
+    return table_rows_[t] * sel;
   };
+  if (rec != nullptr) {
+    for (const query::Predicate& p : q.predicates) {
+      if (models_[p.col.table].ModelsColumn(p.col.column)) {
+        // SPNs evaluate the conjunction jointly; no per-predicate share.
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "spn"});
+      } else {
+        rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi,
+                                   -1.0, "uniform_fallback"});
+        rec->AddFallback("spn.key_column_uniform",
+                         "table=" + std::to_string(p.col.table) + " column=" +
+                             std::to_string(p.col.column));
+      }
+    }
+  }
   double correction =
       options_.use_fanout_correction ? fanout_.CorrectionFactor(q) : 1.0;
   double base =
@@ -311,6 +360,15 @@ double SpnEstimator::EstimateCardinality(const query::Query& q) {
           : CombineWithJoinFormula(*schema_, q, filtered_rows, [&](int t, int c) {
               return static_cast<double>(distinct_[t][c]);
             });
+  if (rec != nullptr) {
+    rec->AddCounter("leaf_visits", static_cast<double>(total.leaf_visits));
+    rec->AddCounter("product_visits",
+                    static_cast<double>(total.product_visits));
+    rec->AddCounter("sum_visits", static_cast<double>(total.sum_visits));
+    rec->AddCounter("uniform_fallbacks",
+                    static_cast<double>(total.uniform_fallbacks));
+    rec->AddCounter("fanout_correction", correction);
+  }
   return std::max(1.0, base * correction);
 }
 

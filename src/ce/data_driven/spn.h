@@ -23,6 +23,16 @@
 namespace lce {
 namespace ce {
 
+/// Evaluation statistics of one SpnTableModel::Selectivity call: node visits
+/// by kind plus the uniform fallbacks taken for constrained key columns.
+struct SpnEvalStats {
+  uint64_t leaf_visits = 0;
+  uint64_t product_visits = 0;
+  uint64_t sum_visits = 0;
+  int uniform_fallbacks = 0;
+  double uniform_factor = 1.0;
+};
+
 class SpnTableModel {
  public:
   struct Options {
@@ -42,11 +52,20 @@ class SpnTableModel {
   void Fit(const storage::Table& table, const Options& options, Rng* rng);
 
   /// P(conjunction of ranges) over modeled (non-key) columns; unmodeled
-  /// constrained columns contribute a uniform factor.
+  /// constrained columns contribute a uniform factor. `stats`, when non-null,
+  /// receives node-visit counts and fallback totals; collecting them never
+  /// changes the returned probability.
   double Selectivity(
       const std::vector<std::optional<std::pair<storage::Value,
-                                                storage::Value>>>& ranges)
-      const;
+                                                storage::Value>>>& ranges,
+      SpnEvalStats* stats = nullptr) const;
+
+  /// True when table-local column `c` is covered by the SPN (non-key);
+  /// constrained unmodeled columns take the uniform fallback.
+  bool ModelsColumn(int c) const {
+    return c >= 0 && c < static_cast<int>(model_index_of_col_.size()) &&
+           model_index_of_col_[c] >= 0;
+  }
 
   uint64_t SizeBytes() const;
   size_t num_nodes() const { return nodes_.size(); }
@@ -67,7 +86,8 @@ class SpnTableModel {
                const std::vector<uint32_t>& rows, int col);
   double EvalNode(int node,
                   const std::vector<std::vector<std::pair<int, double>>*>&
-                      overlaps_by_col) const;
+                      overlaps_by_col,
+                  SpnEvalStats* stats) const;
 
   Options options_;
   std::vector<ColumnBinner> binners_;
@@ -87,10 +107,14 @@ class SpnEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   SpnTableModel::Options options_;
   uint64_t seed_;
   const storage::DatabaseSchema* schema_ = nullptr;

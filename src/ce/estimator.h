@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ce/explain.h"
 #include "src/query/query.h"
 #include "src/storage/database.h"
 #include "src/util/status.h"
@@ -34,6 +35,23 @@ class Estimator {
   /// Estimated COUNT(*) of `q`. Always >= 1 (the study's q-error convention
   /// clamps both sides at one tuple).
   virtual double EstimateCardinality(const query::Query& q) = 0;
+
+  /// EstimateCardinality() plus diagnostics: fills `rec` with the estimator
+  /// name, query shape, and — where the estimator overrides this — the
+  /// per-predicate selectivity breakdown, fallback events, and
+  /// model-internal counters behind the number. The returned estimate is
+  /// bit-identical to EstimateCardinality() on the same state: overrides
+  /// share the arithmetic and only *read* already-computed values, so
+  /// internal Rng streams advance exactly as in the plain call. Callers own
+  /// latency/truth/q-error fields. `rec` must be non-null.
+  virtual double EstimateWithDiagnostics(const query::Query& q,
+                                         ExplainRecord* rec) {
+    rec->estimator = Name();
+    FillQueryShape(q, rec);
+    double est = EstimateCardinality(q);
+    rec->estimate = est;
+    return est;
+  }
 
   /// Incorporates newly observed labeled queries (incremental training).
   /// Default: unsupported (traditional/data-driven estimators).

@@ -1,0 +1,75 @@
+#include "src/ce/explain.h"
+
+#include "src/util/json_writer.h"
+
+namespace lce {
+namespace ce {
+
+namespace {
+
+void ValueOrNull(JsonWriter* w, double v) {
+  if (v < 0) {
+    w->Null();
+  } else {
+    w->Value(v);
+  }
+}
+
+}  // namespace
+
+std::string ExplainRecord::ToJsonLine() const {
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginObject();
+  w.Key("estimator").Value(estimator);
+  w.Key("kind").Value(kind);
+  w.Key("estimate").Value(estimate);
+  w.Key("truth");
+  ValueOrNull(&w, truth);
+  w.Key("qerror");
+  ValueOrNull(&w, qerror);
+  w.Key("latency_us");
+  ValueOrNull(&w, latency_us);
+  w.Key("query")
+      .BeginObject()
+      .Key("tables").Value(num_tables)
+      .Key("joins").Value(num_joins)
+      .Key("predicates").Value(num_predicates)
+      .EndObject();
+  w.Key("predicates").BeginArray();
+  for (const PredicateExplain& p : predicates) {
+    w.BeginObject()
+        .Key("table").Value(p.table)
+        .Key("column").Value(p.column)
+        .Key("lo").Value(int64_t{p.lo})
+        .Key("hi").Value(int64_t{p.hi})
+        .Key("selectivity");
+    ValueOrNull(&w, p.selectivity);
+    w.Key("source").Value(p.source).EndObject();
+  }
+  w.EndArray();
+  w.Key("fallbacks").BeginArray();
+  for (const FallbackEvent& f : fallbacks) {
+    w.BeginObject()
+        .Key("site").Value(f.site)
+        .Key("detail").Value(f.detail)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return out;
+}
+
+void FillQueryShape(const query::Query& q, ExplainRecord* rec) {
+  rec->num_tables = static_cast<int>(q.tables.size());
+  rec->num_joins = q.num_joins();
+  rec->num_predicates = static_cast<int>(q.predicates.size());
+}
+
+}  // namespace ce
+}  // namespace lce

@@ -1,0 +1,83 @@
+// Per-query explain records: the structured "why" behind every estimate.
+//
+// An ExplainRecord is filled by Estimator::EstimateWithDiagnostics and
+// captures, per query, the per-predicate selectivity breakdown, every
+// fallback the estimator silently took (uniform assumptions, unmodeled
+// columns), model-internal counters (tree depths, SPN node visits, sampling
+// budgets), and — when the caller knows the label — latency and q-error.
+// Records serialize to one compact JSON line each, streamed to the
+// LCE_QUERY_LOG sink (src/util/telemetry/query_log.h) by the evaluation
+// harness, the executor, and the bench runners.
+//
+// Collecting diagnostics never changes the estimate: implementations share
+// the arithmetic of EstimateCardinality and only *read* values already
+// computed, so estimates are bit-identical with and without a record.
+
+#ifndef LCE_CE_EXPLAIN_H_
+#define LCE_CE_EXPLAIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/query/query.h"
+#include "src/storage/types.h"
+
+namespace lce {
+namespace ce {
+
+/// One predicate's contribution to the estimate. `selectivity` is the
+/// estimator's attributed selectivity for this predicate alone, or -1 when
+/// the estimator models predicates jointly and cannot separate them (grid
+/// histograms, SPNs); `source` names the statistic that produced it.
+struct PredicateExplain {
+  int table = 0;
+  int column = 0;
+  storage::Value lo = 0;
+  storage::Value hi = 0;
+  double selectivity = -1.0;
+  std::string source;
+};
+
+/// A fallback the estimator took silently on the normal path: uniformity
+/// assumption, unmodeled column, degenerate statistic.
+struct FallbackEvent {
+  std::string site;    // stable identifier, e.g. "spn.key_column_uniform"
+  std::string detail;  // human-readable context, e.g. "table=0 column=2"
+};
+
+struct ExplainRecord {
+  std::string estimator;     // Estimator::Name(), or "exec.oracle"
+  std::string kind = "estimate";  // "estimate" | "exec"
+  double estimate = 0;
+  double truth = -1;         // ground-truth cardinality; <0 = unknown
+  double qerror = -1;        // <0 = unknown (no label)
+  double latency_us = -1;    // <0 = not measured
+  int num_tables = 0;
+  int num_joins = 0;
+  int num_predicates = 0;
+  std::vector<PredicateExplain> predicates;
+  std::vector<FallbackEvent> fallbacks;
+  /// Model-internal counters: tree path depth, SPN node visits, sampling
+  /// budget, encoding norms, ... Names follow area.metric.
+  std::vector<std::pair<std::string, double>> counters;
+
+  void AddCounter(std::string name, double value) {
+    counters.emplace_back(std::move(name), value);
+  }
+  void AddFallback(std::string site, std::string detail) {
+    fallbacks.push_back({std::move(site), std::move(detail)});
+  }
+
+  /// Compact single-line JSON (no trailing newline), the query-log format.
+  /// Unknown truth/qerror/latency serialize as null.
+  std::string ToJsonLine() const;
+};
+
+/// Fills the query-shape fields (table/join/predicate counts) from `q`.
+void FillQueryShape(const query::Query& q, ExplainRecord* rec);
+
+}  // namespace ce
+}  // namespace lce
+
+#endif  // LCE_CE_EXPLAIN_H_

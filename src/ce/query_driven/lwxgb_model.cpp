@@ -39,6 +39,35 @@ double LwXgbEstimator::EstimateCardinality(const query::Query& q) {
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
+double LwXgbEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                               ExplainRecord* rec) {
+  LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateCardinality()");
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  for (const query::Predicate& p : q.predicates) {
+    // Tree ensembles estimate jointly; no per-predicate attribution.
+    rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi, -1.0,
+                               "gbdt"});
+  }
+  gbdt::GradientBoosting::PredictStats stats;
+  float y = model_->PredictWithStats(
+      encoder_->FlatEncode(q, options_.flat_variant), &stats);
+  float clamped = std::clamp(y, 0.0f, 1.0f);
+  double est = encoder_->DenormalizeLog(clamped);
+  rec->AddCounter("pred_normalized", static_cast<double>(y));
+  rec->AddCounter("trees", static_cast<double>(stats.trees));
+  rec->AddCounter("nodes_visited", static_cast<double>(stats.nodes_visited));
+  rec->AddCounter("mean_path_depth", stats.mean_path_depth);
+  rec->AddCounter("max_path_depth", static_cast<double>(stats.max_path_depth));
+  if (y != clamped) {
+    rec->AddFallback("gbdt.output_clamped",
+                     "ensemble output " + std::to_string(y) +
+                         " clamped to [0,1] before denormalization");
+  }
+  rec->estimate = est;
+  return est;
+}
+
 Status LwXgbEstimator::UpdateWithQueries(
     const std::vector<query::LabeledQuery>& queries) {
   if (model_ == nullptr) return Status::FailedPrecondition("Build() first");

@@ -32,6 +32,8 @@ class LwXgbEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithQueries(
       const std::vector<query::LabeledQuery>& queries) override;
   /// Encoding and tree traversal are pure reads of the fitted model.

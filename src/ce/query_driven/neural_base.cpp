@@ -132,6 +132,42 @@ double NeuralQueryDrivenEstimator::EstimateCardinality(const query::Query& q) {
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
+double NeuralQueryDrivenEstimator::EstimateWithDiagnostics(
+    const query::Query& q, ExplainRecord* rec) {
+  LCE_CHECK_MSG(built_, Name() << ": Build() before EstimateCardinality()");
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  for (const query::Predicate& p : q.predicates) {
+    // Learned models estimate jointly; no per-predicate attribution.
+    rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi, -1.0,
+                               "learned"});
+  }
+  float y = ForwardOne(q);
+  float clamped = std::clamp(y, 0.0f, 1.0f);
+  double est = encoder_->DenormalizeLog(clamped);
+
+  // Featurization stats from a fresh (read-only) encoding of the same query;
+  // ForwardOne's cached activations and the estimate are untouched.
+  std::vector<float> feat = encoder_->FlatEncode(q, options_.flat_variant);
+  double l2 = 0;
+  int nonzeros = 0;
+  for (float f : feat) {
+    l2 += static_cast<double>(f) * f;
+    if (f != 0.0f) ++nonzeros;
+  }
+  rec->AddCounter("pred_normalized", static_cast<double>(y));
+  rec->AddCounter("feat_dim", static_cast<double>(feat.size()));
+  rec->AddCounter("feat_nonzeros", static_cast<double>(nonzeros));
+  rec->AddCounter("feat_l2", std::sqrt(l2));
+  if (y != clamped) {
+    rec->AddFallback("nn.output_clamped",
+                     "sigmoid output " + std::to_string(y) +
+                         " clamped to [0,1] before denormalization");
+  }
+  rec->estimate = est;
+  return est;
+}
+
 Status NeuralQueryDrivenEstimator::UpdateWithQueries(
     const std::vector<query::LabeledQuery>& queries) {
   if (!built_) return Status::FailedPrecondition("Build() before update");

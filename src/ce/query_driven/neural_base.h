@@ -47,6 +47,8 @@ class NeuralQueryDrivenEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithQueries(
       const std::vector<query::LabeledQuery>& queries) override;
   uint64_t SizeBytes() const override;

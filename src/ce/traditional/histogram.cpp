@@ -147,10 +147,34 @@ double HistogramEstimator::TableSelectivity(const query::Query& q,
 }
 
 double HistogramEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double HistogramEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                                   ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double HistogramEstimator::EstimateImpl(const query::Query& q,
+                                        ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
   double card = 1.0;
   for (int t : q.tables) {
-    card *= table_rows_[t] * TableSelectivity(q, t);
+    double sel = 1.0;
+    for (const query::Predicate& p : q.predicates) {
+      if (p.col.table != t) continue;
+      double s = stats_[t][p.col.column].Selectivity(p.lo, p.hi);
+      sel *= s;
+      if (rec != nullptr) {
+        rec->predicates.push_back(
+            {p.col.table, p.col.column, p.lo, p.hi, s, "mcv+equidepth"});
+      }
+    }
+    card *= table_rows_[t] * sel;
   }
   for (int j : q.join_edges) {
     const storage::JoinEdge& e = schema_->joins[j];
@@ -161,6 +185,10 @@ double HistogramEstimator::EstimateCardinality(const query::Query& q) {
     double ndv = static_cast<double>(
         std::max(stats_[lt][lc].distinct, stats_[rt][rc].distinct));
     card /= std::max(1.0, ndv);
+    if (rec != nullptr) {
+      rec->AddCounter("join." + e.left_table + "-" + e.right_table + ".ndv",
+                      ndv);
+    }
   }
   return std::max(1.0, card);
 }

@@ -75,6 +75,8 @@ class HistogramEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   /// Estimation reads only the built per-column statistics.
   bool ThreadSafeEstimate() const override { return true; }
@@ -84,6 +86,8 @@ class HistogramEstimator : public Estimator {
   double TableSelectivity(const query::Query& q, int table_index) const;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   Options options_;
   const storage::DatabaseSchema* schema_ = nullptr;
   std::vector<std::vector<ColumnStatistics>> stats_;  // [table][column]

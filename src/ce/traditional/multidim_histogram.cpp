@@ -5,6 +5,7 @@
 
 #include "src/storage/table.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
 
 namespace lce {
 namespace ce {
@@ -138,7 +139,24 @@ Status MultiDimHistogramEstimator::UpdateWithData(const storage::Database& db) {
 }
 
 double MultiDimHistogramEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double MultiDimHistogramEstimator::EstimateWithDiagnostics(
+    const query::Query& q, ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double MultiDimHistogramEstimator::EstimateImpl(const query::Query& q,
+                                                ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  static telemetry::Counter& fallback_counter =
+      telemetry::MetricsRegistry::Global().counter(
+          "ce.multihist.uniform_fallback");
   double card = 1.0;
   for (int t : q.tables) {
     // Ranges per grid dimension, defaulting to the full column range.
@@ -153,14 +171,32 @@ double MultiDimHistogramEstimator::EstimateCardinality(const query::Query& q) {
         size_t dim = static_cast<size_t>(it - cols.begin());
         ranges[dim].first = std::max(ranges[dim].first, p.lo);
         ranges[dim].second = std::min(ranges[dim].second, p.hi);
+        if (rec != nullptr) {
+          // Joint (grid) selectivity cannot be attributed per predicate.
+          rec->predicates.push_back(
+              {p.col.table, p.col.column, p.lo, p.hi, -1.0, "grid"});
+        }
       } else {
         // Uniform fallback for non-gridded columns.
+        fallback_counter.Increment();
         double dom = static_cast<double>(distinct_[t][p.col.column]);
         double width = static_cast<double>(p.hi - p.lo) + 1.0;
-        extra_sel *= std::clamp(width / dom, 0.0, 1.0);
+        double s = std::clamp(width / dom, 0.0, 1.0);
+        extra_sel *= s;
+        if (rec != nullptr) {
+          rec->predicates.push_back(
+              {p.col.table, p.col.column, p.lo, p.hi, s, "uniform_fallback"});
+          rec->AddFallback("multihist.uniform_column",
+                           "table=" + std::to_string(t) +
+                               " column=" + std::to_string(p.col.column));
+        }
       }
     }
-    card *= table_rows_[t] * grids_[t].Selectivity(ranges) * extra_sel;
+    double grid_sel = grids_[t].Selectivity(ranges);
+    if (rec != nullptr) {
+      rec->AddCounter("grid_sel.t" + std::to_string(t), grid_sel);
+    }
+    card *= table_rows_[t] * grid_sel * extra_sel;
   }
   for (int j : q.join_edges) {
     const storage::JoinEdge& e = schema_->joins[j];

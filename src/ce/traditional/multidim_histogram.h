@@ -58,12 +58,16 @@ class MultiDimHistogramEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   /// Estimation reads only the built grids.
   bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   Options options_;
   const storage::DatabaseSchema* schema_ = nullptr;
   std::vector<GridHistogram> grids_;          // one per table

@@ -48,10 +48,32 @@ Status SamplingEstimator::UpdateWithData(const storage::Database& db) {
 }
 
 double SamplingEstimator::EstimateCardinality(const query::Query& q) {
+  return EstimateImpl(q, nullptr);
+}
+
+double SamplingEstimator::EstimateWithDiagnostics(const query::Query& q,
+                                                  ExplainRecord* rec) {
+  rec->estimator = Name();
+  FillQueryShape(q, rec);
+  double est = EstimateImpl(q, rec);
+  rec->estimate = est;
+  return est;
+}
+
+double SamplingEstimator::EstimateImpl(const query::Query& q,
+                                       ExplainRecord* rec) {
   LCE_CHECK_MSG(executor_ != nullptr, "Build() before EstimateCardinality()");
   double count = executor_->Cardinality(q);
   double scale = 1.0;
   for (int t : q.tables) scale *= scale_[t];
+  if (rec != nullptr) {
+    rec->AddCounter("sample_matches", count);
+    rec->AddCounter("scale", scale);
+    if (count <= 0) {
+      rec->AddFallback("sampling.zero_matches",
+                       "no sample row satisfied the query; clamped to 1");
+    }
+  }
   return std::max(1.0, count * scale);
 }
 

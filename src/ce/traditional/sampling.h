@@ -28,12 +28,16 @@ class SamplingEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  double EstimateWithDiagnostics(const query::Query& q,
+                                 ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   /// Estimation is a read-only exact count over the frozen sample database.
   bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
 
  private:
+  double EstimateImpl(const query::Query& q, ExplainRecord* rec);
+
   Options options_;
   std::unique_ptr<storage::Database> sample_db_;
   std::unique_ptr<exec::Executor> executor_;

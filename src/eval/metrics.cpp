@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "src/ce/explain.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/drift.h"
+#include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/timer.h"
 
@@ -39,6 +42,15 @@ AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
                                  test[i].cardinality);
     }
   }
+  // Drift wiring (LCE_DRIFT_WINDOW): feed q-errors into the estimator's
+  // global monitor in index order, after estimation — deterministic at every
+  // thread count and invisible to the estimator, so estimates stay
+  // bit-identical with the monitor on or off.
+  if (telemetry::DriftEnabled()) {
+    telemetry::DriftMonitor& monitor =
+        telemetry::GlobalDriftMonitor(estimator->Name());
+    for (double qe : report.qerrors) monitor.Observe(qe);
+  }
   report.summary = Summarize(report.qerrors);
   return report;
 }
@@ -56,10 +68,26 @@ LatencyReport MeasureEstimateLatency(
   if (report.measured == 0) return report;
   std::vector<double> samples(report.measured);
   Timer timer;
+  // With LCE_QUERY_LOG set, every timed query also streams an explain record
+  // (per-predicate breakdown, fallbacks, model counters, latency, q-error).
+  // Diagnostics share the estimate's arithmetic, so the estimates themselves
+  // are bit-identical to the plain path.
+  const bool log = telemetry::QueryLogEnabled();
   for (size_t i = 0; i < report.measured; ++i) {
-    timer.Reset();
-    estimator->EstimateCardinality(test[i].q);
-    samples[i] = timer.ElapsedMicros();
+    if (log) {
+      ce::ExplainRecord rec;
+      timer.Reset();
+      double est = estimator->EstimateWithDiagnostics(test[i].q, &rec);
+      samples[i] = timer.ElapsedMicros();
+      rec.latency_us = samples[i];
+      rec.truth = test[i].cardinality;
+      rec.qerror = QError(est, test[i].cardinality);
+      telemetry::QueryLog::Global().Append(rec.ToJsonLine());
+    } else {
+      timer.Reset();
+      estimator->EstimateCardinality(test[i].q);
+      samples[i] = timer.ElapsedMicros();
+    }
     latency_hist.Observe(samples[i]);
   }
   report.micros = Summarize(samples);

@@ -2,8 +2,11 @@
 
 #include <unordered_map>
 
+#include "src/util/json_writer.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/timer.h"
 
 namespace lce {
 namespace exec {
@@ -182,6 +185,31 @@ double TreeCount(const storage::Database& db, const query::Query& q,
 
 double Executor::Cardinality(const query::Query& q) const {
   CardinalityQueries().Increment();
+  if (log_queries_ && telemetry::QueryLogEnabled()) {
+    Timer timer;
+    double card = TreeCount(*db_, q, q.tables, q.join_edges);
+    double micros = timer.ElapsedMicros();
+    // Same top-level keys as ce::ExplainRecord::ToJsonLine so one parser
+    // reads the whole log; estimate == truth for the oracle by definition.
+    std::string line;
+    JsonWriter w(&line, JsonWriter::Style::kCompact);
+    w.BeginObject()
+        .Key("estimator").Value("exec.oracle")
+        .Key("kind").Value("exec")
+        .Key("estimate").Value(card)
+        .Key("truth").Value(card)
+        .Key("qerror").Value(1.0)
+        .Key("latency_us").Value(micros)
+        .Key("query")
+        .BeginObject()
+        .Key("tables").Value(uint64_t{q.tables.size()})
+        .Key("joins").Value(static_cast<uint64_t>(q.num_joins()))
+        .Key("predicates").Value(uint64_t{q.predicates.size()})
+        .EndObject()
+        .EndObject();
+    telemetry::QueryLog::Global().Append(line);
+    return card;
+  }
   return TreeCount(*db_, q, q.tables, q.join_edges);
 }
 

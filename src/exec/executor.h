@@ -31,6 +31,13 @@ class Executor {
   /// `db` must outlive the executor.
   explicit Executor(const storage::Database* db) : db_(db) {}
 
+  /// Opts this executor into the LCE_QUERY_LOG sink: every Cardinality call
+  /// appends a kind="exec" record (exact count + latency). Off by default so
+  /// auxiliary executors — the sampling estimator's sample-level executor,
+  /// the workload generator's bulk labeler — don't flood the log; bench
+  /// harnesses enable it on their ground-truth executor.
+  void EnableQueryLog(bool on = true) { log_queries_ = on; }
+
   /// Exact COUNT(*) of the query. Returned as double: exact for counts below
   /// 2^53, which covers every configuration in the study.
   double Cardinality(const query::Query& q) const;
@@ -45,6 +52,7 @@ class Executor {
 
  private:
   const storage::Database* db_;
+  bool log_queries_ = false;
 };
 
 }  // namespace exec

@@ -95,6 +95,26 @@ float GradientBoosting::Predict(const std::vector<float>& row) const {
   return out;
 }
 
+float GradientBoosting::PredictWithStats(const std::vector<float>& row,
+                                         PredictStats* stats) const {
+  LCE_CHECK_MSG(fitted_, "Fit() before Predict()");
+  std::vector<uint8_t> binned = binner_.Transform(row);
+  float out = base_score_;
+  *stats = PredictStats{};
+  for (const RegressionTree& tree : trees_) {
+    int depth = 0;
+    out += options_.learning_rate * tree.PredictWithDepth(binned, &depth);
+    ++stats->trees;
+    stats->nodes_visited += static_cast<uint64_t>(depth);
+    stats->max_path_depth = std::max(stats->max_path_depth, depth);
+  }
+  stats->mean_path_depth =
+      stats->trees > 0
+          ? static_cast<double>(stats->nodes_visited) / stats->trees
+          : 0.0;
+  return out;
+}
+
 uint64_t GradientBoosting::SizeBytes() const {
   uint64_t bytes = 0;
   for (const RegressionTree& tree : trees_) {

@@ -33,6 +33,19 @@ class GradientBoosting {
 
   float Predict(const std::vector<float>& row) const;
 
+  /// Traversal statistics of one Predict() call; fuels explain records.
+  struct PredictStats {
+    int trees = 0;
+    uint64_t nodes_visited = 0;    // internal nodes crossed (sum of depths)
+    double mean_path_depth = 0;
+    int max_path_depth = 0;
+  };
+
+  /// Predict() with per-tree path statistics. The accumulation mirrors
+  /// Predict() term by term, so the returned value is bit-identical.
+  float PredictWithStats(const std::vector<float>& row,
+                         PredictStats* stats) const;
+
   size_t num_trees() const { return trees_.size(); }
   uint64_t SizeBytes() const;
   bool fitted() const { return fitted_; }

@@ -194,5 +194,20 @@ float RegressionTree::Predict(const std::vector<uint8_t>& binned_row) const {
   return nodes_[cur].value;
 }
 
+float RegressionTree::PredictWithDepth(const std::vector<uint8_t>& binned_row,
+                                       int* depth) const {
+  LCE_CHECK(!nodes_.empty());
+  int cur = 0;
+  int d = 0;
+  while (!nodes_[cur].is_leaf) {
+    const TreeNode& node = nodes_[cur];
+    cur = binned_row[node.feature] <= node.bin_threshold ? node.left
+                                                         : node.right;
+    ++d;
+  }
+  *depth = d;
+  return nodes_[cur].value;
+}
+
 }  // namespace gbdt
 }  // namespace lce

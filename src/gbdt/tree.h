@@ -55,6 +55,11 @@ class RegressionTree {
 
   float Predict(const std::vector<uint8_t>& binned_row) const;
 
+  /// Predict() plus the root-to-leaf path length in `*depth` (0 when the
+  /// tree is a single leaf). Same traversal, same leaf value.
+  float PredictWithDepth(const std::vector<uint8_t>& binned_row,
+                         int* depth) const;
+
   size_t num_nodes() const { return nodes_.size(); }
 
  private:

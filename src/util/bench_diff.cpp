@@ -1,0 +1,170 @@
+#include "src/util/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "src/util/fs.h"
+
+namespace lce {
+namespace benchdiff {
+
+namespace {
+
+bool MatchesAny(const std::string& key,
+                const std::vector<std::string>& needles) {
+  for (const std::string& n : needles) {
+    if (!n.empty() && key.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void FlattenInto(const json::JsonValue& v, const std::string& prefix,
+                 std::vector<std::pair<std::string, double>>* out) {
+  using Kind = json::JsonValue::Kind;
+  switch (v.kind) {
+    case Kind::kNumber:
+      out->emplace_back(prefix, v.number);
+      break;
+    case Kind::kBool:
+      out->emplace_back(prefix, v.boolean ? 1.0 : 0.0);
+      break;
+    case Kind::kObject:
+      for (const auto& [key, child] : v.object) {
+        FlattenInto(child, prefix.empty() ? key : prefix + "/" + key, out);
+      }
+      break;
+    case Kind::kArray:
+      for (size_t i = 0; i < v.array.size(); ++i) {
+        FlattenInto(v.array[i], prefix + "/" + std::to_string(i), out);
+      }
+      break;
+    default:  // null / string: not comparable, skip
+      break;
+  }
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+const char* VerdictLabel(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kRegression: return "REGRESSION";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kAdded: return "added";
+    case Verdict::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> FlattenNumbers(
+    const json::JsonValue& v) {
+  std::vector<std::pair<std::string, double>> out;
+  FlattenInto(v, "", &out);
+  return out;
+}
+
+DiffReport Diff(const json::JsonValue& baseline, const json::JsonValue& current,
+                const Options& options) {
+  std::map<std::string, double> base, cur;
+  for (auto& [k, v] : FlattenNumbers(baseline)) base.emplace(k, v);
+  for (auto& [k, v] : FlattenNumbers(current)) cur.emplace(k, v);
+
+  DiffReport report;
+  for (const auto& [key, bv] : base) {
+    if (MatchesAny(key, options.ignore)) continue;
+    bool watched = MatchesAny(key, options.watch);
+    auto it = cur.find(key);
+    if (it == cur.end()) {
+      Entry e{key, watched ? Verdict::kRegression : Verdict::kRemoved, watched,
+              bv, 0, 0};
+      if (watched) ++report.regressions;
+      report.entries.push_back(std::move(e));
+      continue;
+    }
+    ++report.keys_compared;
+    double cv = it->second;
+    double rel = (cv - bv) / std::max(std::abs(bv), 1e-12);
+    if (std::abs(rel) <= options.rel_tol) continue;  // within tolerance
+    Entry e{key, Verdict::kOk, watched, bv, cv, rel};
+    if (watched) {
+      e.verdict = rel > 0 ? Verdict::kRegression : Verdict::kImprovement;
+      if (rel > 0) {
+        ++report.regressions;
+      } else {
+        ++report.improvements;
+      }
+    }
+    report.entries.push_back(std::move(e));
+  }
+  for (const auto& [key, cv] : cur) {
+    if (base.count(key) != 0 || MatchesAny(key, options.ignore)) continue;
+    report.entries.push_back(
+        {key, Verdict::kAdded, MatchesAny(key, options.watch), 0, cv, 0});
+  }
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return (a.verdict == Verdict::kRegression) >
+                            (b.verdict == Verdict::kRegression);
+                   });
+  return report;
+}
+
+std::string DiffReport::ToMarkdown() const {
+  std::string out;
+  out += "# bench_diff\n\n";
+  out += "- keys compared: " + std::to_string(keys_compared) + "\n";
+  out += "- regressions: " + std::to_string(regressions) + "\n";
+  out += "- improvements: " + std::to_string(improvements) + "\n\n";
+  if (entries.empty()) {
+    out += "No notable changes.\n";
+    return out;
+  }
+  out += "| key | verdict | baseline | current | rel change |\n";
+  out += "|---|---|---:|---:|---:|\n";
+  for (const Entry& e : entries) {
+    char rel[32];
+    std::snprintf(rel, sizeof(rel), "%+.1f%%", e.rel_change * 100.0);
+    out += "| `" + e.key + "` | " + VerdictLabel(e.verdict) +
+           (e.watched ? " (watched)" : "") + " | " + FormatNumber(e.base) +
+           " | " + FormatNumber(e.current) + " | " +
+           (e.verdict == Verdict::kAdded || e.verdict == Verdict::kRemoved
+                ? std::string("—")
+                : std::string(rel)) +
+           " |\n";
+  }
+  return out;
+}
+
+Result<DiffReport> DiffFiles(const std::string& baseline_path,
+                             const std::string& current_path,
+                             const Options& options) {
+  std::string base_text, cur_text;
+  Status read = fs::ReadFileToString(baseline_path, &base_text);
+  if (!read.ok()) return read;
+  read = fs::ReadFileToString(current_path, &cur_text);
+  if (!read.ok()) return read;
+  json::JsonValue base, cur;
+  std::string error;
+  if (!json::Parse(base_text, &base, &error)) {
+    return Status::Internal("cannot parse " + baseline_path + ": " + error);
+  }
+  if (!json::Parse(cur_text, &cur, &error)) {
+    return Status::Internal("cannot parse " + current_path + ": " + error);
+  }
+  return Diff(base, cur, options);
+}
+
+}  // namespace benchdiff
+}  // namespace lce

@@ -1,0 +1,74 @@
+// Manifest diffing for perf/accuracy gating (tools/bench_diff).
+//
+// Two bench run manifests (BENCH_manifest_*.json) are flattened to
+// path -> number maps and compared under a relative tolerance. Only *watched*
+// keys (substring match, higher-is-worse — e.g. "qerr") can fail the diff:
+// everything else is reported informationally, so volatile quantities like
+// wall-clock never false-fail a CI gate. A watched key present in the
+// baseline but missing from the current run is a regression too — silently
+// dropping the metric must not pass the gate.
+
+#ifndef LCE_UTIL_BENCH_DIFF_H_
+#define LCE_UTIL_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/json_writer.h"
+#include "src/util/status.h"
+
+namespace lce {
+namespace benchdiff {
+
+struct Options {
+  /// Relative change beyond which a key counts as moved. Watched keys moving
+  /// up by more than this fail the diff.
+  double rel_tol = 0.25;
+  /// Substrings selecting the gated, higher-is-worse keys.
+  std::vector<std::string> watch = {"qerr"};
+  /// Substrings of keys skipped entirely (volatile by construction).
+  std::vector<std::string> ignore = {"timestamp", "wall_seconds", "latency",
+                                     "_ms", "_us", ".ns", "git_commit"};
+};
+
+enum class Verdict { kOk, kRegression, kImprovement, kAdded, kRemoved };
+
+struct Entry {
+  std::string key;       // flattened path, e.g. "metrics/gauges/ce/FCN/qerr_p95_window"
+  Verdict verdict = Verdict::kOk;
+  bool watched = false;
+  double base = 0;
+  double current = 0;
+  double rel_change = 0;  // (current - base) / max(|base|, 1e-12)
+};
+
+struct DiffReport {
+  std::vector<Entry> entries;  // notable rows only, regressions first
+  int keys_compared = 0;       // keys present (and not ignored) in both docs
+  int regressions = 0;
+  int improvements = 0;
+
+  bool has_regression() const { return regressions > 0; }
+  /// Renders the report as a markdown document (tables per verdict class).
+  std::string ToMarkdown() const;
+};
+
+/// Flattens `v` into "a/b/0/c" -> number pairs (objects by key, arrays by
+/// index; non-numeric leaves skipped). Exposed for tests.
+std::vector<std::pair<std::string, double>> FlattenNumbers(
+    const json::JsonValue& v);
+
+/// Diffs two parsed manifests under `options`.
+DiffReport Diff(const json::JsonValue& baseline, const json::JsonValue& current,
+                const Options& options);
+
+/// Reads + parses both files, then Diff()s them. IO or parse problems come
+/// back as a Status (distinct from a regression, which is in the report).
+Result<DiffReport> DiffFiles(const std::string& baseline_path,
+                             const std::string& current_path,
+                             const Options& options);
+
+}  // namespace benchdiff
+}  // namespace lce
+
+#endif  // LCE_UTIL_BENCH_DIFF_H_

@@ -1,0 +1,58 @@
+#include "src/util/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace lce {
+namespace fs {
+
+Status EnsureParentDirs(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + parent.string() +
+                            ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  Status dirs = EnsureParentDirs(path);
+  if (!dirs.ok()) return dirs;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing: " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::Internal("read of " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace fs
+}  // namespace lce

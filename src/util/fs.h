@@ -1,0 +1,31 @@
+// Small filesystem helpers shared by every artifact writer (traces, run
+// manifests, query logs, bench JSON). All return Status instead of silently
+// dropping output: a bench run that cannot persist its manifest is a failed
+// run, not a quiet one.
+
+#ifndef LCE_UTIL_FS_H_
+#define LCE_UTIL_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lce {
+namespace fs {
+
+/// Creates every missing directory on the parent path of `path` (mkdir -p of
+/// dirname). A path with no directory component is trivially OK.
+Status EnsureParentDirs(const std::string& path);
+
+/// Writes `data` to `path`, creating parent directories first. Truncates any
+/// existing file. On failure returns Internal with the path and errno text.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// Reads the whole file into `*out`. NotFound / Internal on failure.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace fs
+}  // namespace lce
+
+#endif  // LCE_UTIL_FS_H_

@@ -1,0 +1,154 @@
+#include "src/util/telemetry/query_log.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/fs.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+constexpr size_t kFlushBytes = 64 * 1024;
+
+std::string EnvQueryLogPath() {
+  static std::string v = [] {
+    const char* e = std::getenv("LCE_QUERY_LOG");
+    return std::string(e != nullptr ? e : "");
+  }();
+  return v;
+}
+
+std::mutex g_path_mu;
+bool g_path_overridden = false;
+std::string g_path_override;
+// Fast-path flag mirroring "path is non-empty".
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_enabled_initialized{false};
+
+void InitEnabledFlag() {
+  if (g_enabled_initialized.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (g_enabled_initialized.load(std::memory_order_relaxed)) return;
+  bool on = !EnvQueryLogPath().empty();
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_enabled_initialized.store(true, std::memory_order_release);
+  if (on) {
+    // Tools and examples that never construct a BenchRun still get the tail.
+    std::atexit([] { QueryLog::Global().Flush(); });
+  }
+}
+
+}  // namespace
+
+bool QueryLogEnabled() {
+  InitEnabledFlag();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::string QueryLogPath() {
+  InitEnabledFlag();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  return g_path_overridden ? g_path_override : EnvQueryLogPath();
+}
+
+void SetQueryLogPathForTesting(const char* path) {
+  InitEnabledFlag();
+  QueryLog::Global().Flush();
+  QueryLog::Global().ResetForTesting();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (path == nullptr) {
+    g_path_overridden = false;
+    g_enabled.store(!EnvQueryLogPath().empty(), std::memory_order_relaxed);
+  } else {
+    g_path_overridden = true;
+    g_path_override = path;
+    g_enabled.store(!g_path_override.empty(), std::memory_order_relaxed);
+  }
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog();
+  return *log;
+}
+
+void QueryLog::Append(std::string_view json_line) {
+  if (!QueryLogEnabled()) return;
+  bool want_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
+    buffer_.append(json_line);
+    buffer_.push_back('\n');
+    ++lines_;
+    want_flush = buffer_.size() >= kFlushBytes;
+  }
+  if (want_flush) Flush();
+}
+
+Status QueryLog::Flush() {
+  if (!QueryLogEnabled()) return Status::OK();
+  std::string path = QueryLogPath();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return first_error_;
+  if (buffer_.empty() && file_ != nullptr) {
+    std::fflush(static_cast<std::FILE*>(file_));
+    return Status::OK();
+  }
+  if (file_ == nullptr || open_path_ != path) {
+    if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+    Status dirs = fs::EnsureParentDirs(path);
+    if (!dirs.ok()) {
+      failed_ = true;
+      first_error_ = dirs;
+      LCE_LOG(ERROR) << "query log disabled: " << dirs.ToString();
+      return first_error_;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      failed_ = true;
+      first_error_ = Status::Internal("cannot open query log " + path + ": " +
+                                      std::strerror(errno));
+      LCE_LOG(ERROR) << first_error_.ToString();
+      return first_error_;
+    }
+    file_ = f;
+    open_path_ = path;
+  }
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  if (written != buffer_.size()) {
+    failed_ = true;
+    first_error_ = Status::Internal("short write to query log " + path);
+    LCE_LOG(ERROR) << first_error_.ToString();
+    return first_error_;
+  }
+  buffer_.clear();
+  std::fflush(f);
+  return Status::OK();
+}
+
+uint64_t QueryLog::lines_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void QueryLog::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+  open_path_.clear();
+  buffer_.clear();
+  lines_ = 0;
+  failed_ = false;
+  first_error_ = Status::OK();
+}
+
+}  // namespace telemetry
+}  // namespace lce

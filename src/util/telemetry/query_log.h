@@ -1,0 +1,74 @@
+// Env-gated JSONL query log (LCE_QUERY_LOG=<path>).
+//
+// When enabled, the evaluation harness, the exact executor, and the bench
+// runners stream one JSON object per query (an ExplainRecord serialized by
+// src/ce/explain.h) into a buffered appender. Lines accumulate in memory and
+// are written in 64 KiB batches; parent directories are created on first
+// flush and the file is truncated once per process. A final flush runs at
+// process exit, so short-lived tools never lose the tail.
+//
+// With LCE_QUERY_LOG unset, Append() is a relaxed load plus a branch:
+// nothing is buffered, no clock is read, and estimator outputs are
+// bit-identical to a run without the sink (tested).
+
+#ifndef LCE_UTIL_TELEMETRY_QUERY_LOG_H_
+#define LCE_UTIL_TELEMETRY_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace lce {
+namespace telemetry {
+
+/// True when the query log is on (LCE_QUERY_LOG set, or a test override).
+bool QueryLogEnabled();
+
+/// The current query-log path ("" when disabled).
+std::string QueryLogPath();
+
+/// Overrides the destination (tests). Empty string disables; nullptr
+/// restores the LCE_QUERY_LOG-derived value. Flushes and closes any open
+/// sink first so tests see complete files.
+void SetQueryLogPathForTesting(const char* path);
+
+/// The process-wide buffered JSONL appender.
+class QueryLog {
+ public:
+  static QueryLog& Global();
+
+  /// Buffers one JSON line (newline appended here). No-op when the sink is
+  /// disabled. Thread-safe.
+  void Append(std::string_view json_line);
+
+  /// Writes everything buffered so far to QueryLogPath(), creating parent
+  /// directories on the first write. Returns the first error encountered;
+  /// once a write fails the sink stays disabled for the process (the error
+  /// is logged once, with the path).
+  Status Flush();
+
+  /// Lines appended since process start (or the last reset). Test hook.
+  uint64_t lines_appended() const;
+
+  /// Drops buffered data, closes the file, and zeroes counters (tests).
+  void ResetForTesting();
+
+ private:
+  QueryLog() = default;
+
+  mutable std::mutex mu_;
+  std::string buffer_;
+  uint64_t lines_ = 0;
+  std::string open_path_;   // path the current file handle points at
+  void* file_ = nullptr;    // std::FILE*, opaque to keep <cstdio> out
+  bool failed_ = false;     // a write failed; stop trying, keep the Status
+  Status first_error_;
+};
+
+}  // namespace telemetry
+}  // namespace lce
+
+#endif  // LCE_UTIL_TELEMETRY_QUERY_LOG_H_

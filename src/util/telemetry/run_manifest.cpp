@@ -9,9 +9,11 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/fs.h"
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
 
@@ -120,11 +122,21 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_METRICS");
   WriteEnvEntry(&w, "LCE_TRACE");
   WriteEnvEntry(&w, "LCE_LOG_LEVEL");
+  WriteEnvEntry(&w, "LCE_QUERY_LOG");
+  WriteEnvEntry(&w, "LCE_DRIFT_WINDOW");
+  WriteEnvEntry(&w, "LCE_DRIFT_THRESHOLD");
+  WriteEnvEntry(&w, "LCE_BENCH_OUT_DIR");
   w.EndObject();
   w.Key("metrics_enabled").Value(MetricsEnabled());
   w.Key("trace_path");
   if (TraceEnabled()) {
     w.Value(TracePath());
+  } else {
+    w.Null();
+  }
+  w.Key("query_log");
+  if (QueryLogEnabled()) {
+    w.Value(QueryLogPath());
   } else {
     w.Null();
   }
@@ -136,19 +148,18 @@ std::string RunManifestJson(const std::string& bench_name,
   return out;
 }
 
-bool WriteRunManifest(const std::string& path, const std::string& bench_name,
-                      double wall_seconds) {
+Status WriteRunManifest(const std::string& path, const std::string& bench_name,
+                        double wall_seconds) {
   std::string json = RunManifestJson(bench_name, wall_seconds);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    LCE_LOG(ERROR) << "cannot open run manifest " << path;
-    return false;
+  json.push_back('\n');
+  Status written = fs::WriteStringToFile(path, json);
+  if (!written.ok()) {
+    MetricsRegistry::Global().counter("telemetry.export_failures").AddAlways(1);
+    LCE_LOG(ERROR) << "cannot write run manifest: " << written.ToString();
+    return written;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
   LCE_LOG(INFO) << "wrote run manifest " << path;
-  return true;
+  return Status::OK();
 }
 
 }  // namespace telemetry

@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "src/util/status.h"
+
 namespace lce {
 namespace telemetry {
 
@@ -23,9 +25,10 @@ const char* BuildGitCommit();
 std::string RunManifestJson(const std::string& bench_name,
                             double wall_seconds);
 
-/// Writes RunManifestJson to `path`. Returns false (and logs) on I/O error.
-bool WriteRunManifest(const std::string& path, const std::string& bench_name,
-                      double wall_seconds);
+/// Writes RunManifestJson to `path`, creating parent directories as needed.
+/// On I/O failure returns the error (also logged, with the path).
+Status WriteRunManifest(const std::string& path, const std::string& bench_name,
+                        double wall_seconds);
 
 }  // namespace telemetry
 }  // namespace lce

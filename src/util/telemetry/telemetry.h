@@ -83,8 +83,11 @@ class Gauge {
  public:
   void Set(double v) {
     if (!MetricsEnabled()) return;
-    value_.store(v, std::memory_order_relaxed);
+    SetAlways(v);
   }
+  /// Records even while metrics are disabled; for subsystems with their own
+  /// opt-in gate (e.g. drift monitors) and for tests.
+  void SetAlways(double v) { value_.store(v, std::memory_order_relaxed); }
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

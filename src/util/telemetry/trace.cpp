@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/util/fs.h"
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry/telemetry.h"
@@ -170,9 +171,11 @@ std::vector<std::pair<TraceEvent, std::string>> CollectEvents() {
 
 }  // namespace
 
-void WriteTraceIfEnabled() {
+void WriteTraceIfEnabled() { (void)WriteTraceNow(); }
+
+Status WriteTraceNow() {
   std::string path = TracePath();
-  if (path.empty()) return;
+  if (path.empty()) return Status::OK();
   auto events = CollectEvents();
   std::stable_sort(events.begin(), events.end(),
                    [](const auto& a, const auto& b) {
@@ -231,14 +234,14 @@ void WriteTraceIfEnabled() {
   w.EndArray();
   w.EndObject();
 
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    LCE_LOG(ERROR) << "cannot open trace output " << path;
-    return;
+  Status written = fs::WriteStringToFile(path, out);
+  if (!written.ok()) {
+    MetricsRegistry::Global().counter("telemetry.export_failures").AddAlways(1);
+    LCE_LOG(ERROR) << "cannot write trace output: " << written.ToString();
+    return written;
   }
-  std::fwrite(out.data(), 1, out.size(), f);
-  std::fclose(f);
   LCE_LOG(INFO) << "wrote " << events.size() << " trace events to " << path;
+  return Status::OK();
 }
 
 std::vector<TraceEvent> SnapshotTraceEventsForTesting() {

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace lce {
 namespace telemetry {
 
@@ -69,6 +71,12 @@ class TraceSpan {
 /// No-op when tracing is off. Safe to call more than once (rewrites the
 /// file with everything recorded so far).
 void WriteTraceIfEnabled();
+
+/// WriteTraceIfEnabled with error reporting: OK when tracing is off or the
+/// file was written; otherwise the write error (also logged, with the path,
+/// and counted in the `telemetry.export_failures` metric). Parent
+/// directories are created as needed.
+Status WriteTraceNow();
 
 /// All events recorded so far (tests). Pair with ClearTraceForTesting.
 std::vector<TraceEvent> SnapshotTraceEventsForTesting();

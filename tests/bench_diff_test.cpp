@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/bench_diff.h"
+#include "src/util/fs.h"
+#include "src/util/json_writer.h"
+
+namespace lce {
+namespace benchdiff {
+namespace {
+
+json::JsonValue ParseOrDie(const std::string& text) {
+  json::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json::Parse(text, &v, &error)) << error;
+  return v;
+}
+
+constexpr char kBaseline[] = R"({
+  "bench": "r2_costs",
+  "wall_seconds": 12.5,
+  "metrics": {
+    "gauges": {"ce/FCN/qerr_p95_window": 4.0, "ce/Naru/qerr_p95_window": 2.0},
+    "counters": {"exec.rows_scanned": 1000, "drift.alerts": 0}
+  },
+  "phases": [{"name": "eval", "total_ms": 90.0, "calls": 10}]
+})";
+
+TEST(BenchDiffTest, FlattenProducesSlashPaths) {
+  auto flat = FlattenNumbers(ParseOrDie(kBaseline));
+  bool found_gauge = false, found_phase = false;
+  for (const auto& [key, value] : flat) {
+    if (key == "metrics/gauges/ce/FCN/qerr_p95_window") {
+      found_gauge = true;
+      EXPECT_DOUBLE_EQ(value, 4.0);
+    }
+    if (key == "phases/0/calls") found_phase = true;
+  }
+  EXPECT_TRUE(found_gauge);
+  EXPECT_TRUE(found_phase);
+}
+
+TEST(BenchDiffTest, IdenticalManifestsPass) {
+  json::JsonValue v = ParseOrDie(kBaseline);
+  DiffReport report = Diff(v, v, Options{});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_GT(report.keys_compared, 0);
+}
+
+TEST(BenchDiffTest, PerturbedWatchedMetricIsFlagged) {
+  std::string perturbed = kBaseline;
+  size_t pos = perturbed.find("4.0");
+  ASSERT_NE(pos, std::string::npos);
+  perturbed.replace(pos, 3, "9.0");  // qerr p95 up 2.25x
+  DiffReport report =
+      Diff(ParseOrDie(kBaseline), ParseOrDie(perturbed), Options{});
+  EXPECT_TRUE(report.has_regression());
+  ASSERT_FALSE(report.entries.empty());
+  // Regressions sort first.
+  EXPECT_EQ(report.entries[0].verdict, Verdict::kRegression);
+  EXPECT_EQ(report.entries[0].key, "metrics/gauges/ce/FCN/qerr_p95_window");
+  EXPECT_TRUE(report.entries[0].watched);
+  std::string md = report.ToMarkdown();
+  EXPECT_NE(md.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(md.find("qerr_p95_window"), std::string::npos);
+}
+
+TEST(BenchDiffTest, WatchedImprovementIsNotRegression) {
+  std::string improved = kBaseline;
+  size_t pos = improved.find("4.0");
+  improved.replace(pos, 3, "1.5");
+  DiffReport report =
+      Diff(ParseOrDie(kBaseline), ParseOrDie(improved), Options{});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.improvements, 1);
+}
+
+TEST(BenchDiffTest, UnwatchedChangeNeverGates) {
+  std::string changed = kBaseline;
+  size_t pos = changed.find("1000");
+  ASSERT_NE(pos, std::string::npos);
+  changed.replace(pos, 4, "9999");  // exec.rows_scanned 10x — informational
+  DiffReport report =
+      Diff(ParseOrDie(kBaseline), ParseOrDie(changed), Options{});
+  EXPECT_FALSE(report.has_regression());
+  bool reported = false;
+  for (const Entry& e : report.entries) {
+    if (e.key == "metrics/counters/exec.rows_scanned") {
+      reported = true;
+      EXPECT_EQ(e.verdict, Verdict::kOk);
+      EXPECT_FALSE(e.watched);
+    }
+  }
+  EXPECT_TRUE(reported);
+}
+
+TEST(BenchDiffTest, MissingWatchedKeyIsRegression) {
+  constexpr char kCurrent[] = R"({
+    "metrics": {"gauges": {"ce/FCN/qerr_p95_window": 4.0}}
+  })";  // Naru gauge vanished
+  DiffReport report =
+      Diff(ParseOrDie(kBaseline), ParseOrDie(kCurrent), Options{});
+  EXPECT_TRUE(report.has_regression());
+  bool found = false;
+  for (const Entry& e : report.entries) {
+    if (e.key == "metrics/gauges/ce/Naru/qerr_p95_window") {
+      found = true;
+      EXPECT_EQ(e.verdict, Verdict::kRegression);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiffTest, IgnoredKeysNeverCompared) {
+  std::string changed = kBaseline;
+  size_t pos = changed.find("12.5");
+  ASSERT_NE(pos, std::string::npos);
+  changed.replace(pos, 4, "99.9");  // wall_seconds is volatile, ignored
+  DiffReport report =
+      Diff(ParseOrDie(kBaseline), ParseOrDie(changed), Options{});
+  for (const Entry& e : report.entries) {
+    EXPECT_EQ(e.key.find("wall_seconds"), std::string::npos);
+  }
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(BenchDiffTest, DiffFilesReportsIoAndParseErrors) {
+  Options options;
+  Result<DiffReport> missing =
+      DiffFiles("/nonexistent/base.json", "/nonexistent/cur.json", options);
+  EXPECT_FALSE(missing.ok());
+
+  std::string dir = ::testing::TempDir();
+  std::string good = dir + "bench_diff_good.json";
+  std::string bad = dir + "bench_diff_bad.json";
+  ASSERT_TRUE(fs::WriteStringToFile(good, kBaseline).ok());
+  ASSERT_TRUE(fs::WriteStringToFile(bad, "{not json").ok());
+  Result<DiffReport> parse_error = DiffFiles(good, bad, options);
+  EXPECT_FALSE(parse_error.ok());
+
+  Result<DiffReport> ok = DiffFiles(good, good, options);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().has_regression());
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace lce

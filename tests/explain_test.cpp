@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ce/data_driven/spn.h"
+#include "src/ce/explain.h"
+#include "src/ce/factory.h"
+#include "src/ce/traditional/histogram.h"
+#include "src/ce/traditional/multidim_histogram.h"
+#include "src/query/query.h"
+#include "src/storage/datagen.h"
+#include "src/util/json_writer.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace ce {
+namespace {
+
+// A minimal estimator with no diagnostics override: exercises the base-class
+// default, which must delegate to EstimateCardinality and fill the shape.
+class ConstantEstimator : public Estimator {
+ public:
+  std::string Name() const override { return "Constant"; }
+  Status Build(const storage::Database&,
+               const std::vector<query::LabeledQuery>&) override {
+    return Status::OK();
+  }
+  double EstimateCardinality(const query::Query&) override { return 42.0; }
+  uint64_t SizeBytes() const override { return 0; }
+};
+
+TEST(ExplainTest, DefaultDelegationFillsShapeAndEstimate) {
+  ConstantEstimator est;
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 1, 5}, {{0, 1}, 2, 2}};
+  ExplainRecord rec;
+  double est_value = est.EstimateWithDiagnostics(q, &rec);
+  EXPECT_DOUBLE_EQ(est_value, 42.0);
+  EXPECT_DOUBLE_EQ(rec.estimate, 42.0);
+  EXPECT_EQ(rec.estimator, "Constant");
+  EXPECT_EQ(rec.num_tables, 1);
+  EXPECT_EQ(rec.num_joins, 0);
+  EXPECT_EQ(rec.num_predicates, 2);
+}
+
+TEST(ExplainTest, DiagnosticsBitIdenticalAcrossZoo) {
+  // For every estimator in the zoo, a twin built with the same seed must
+  // produce bit-identical estimates through EstimateWithDiagnostics — the
+  // diagnostics only read values the plain path already computes (and, for
+  // sampling-based models, consume no extra randomness).
+  auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.02), 3);
+  workload::WorkloadGenerator gen(db.get(), {});
+  Rng rng(4);
+  auto train = gen.GenerateLabeled(150, &rng);
+  auto test = gen.GenerateLabeled(15, &rng);
+  NeuralOptions neural;
+  neural.hidden_dim = 16;
+  neural.epochs = 3;
+
+  for (const std::string& name : AllEstimatorNames()) {
+    auto plain = MakeEstimator(name, neural, /*seed=*/9);
+    auto diag = MakeEstimator(name, neural, /*seed=*/9);
+    ASSERT_TRUE(plain->Build(*db, train).ok()) << name;
+    ASSERT_TRUE(diag->Build(*db, train).ok()) << name;
+    for (const auto& lq : test) {
+      double e1 = plain->EstimateCardinality(lq.q);
+      ExplainRecord rec;
+      double e2 = diag->EstimateWithDiagnostics(lq.q, &rec);
+      EXPECT_EQ(e1, e2) << name;  // bit-identical, not just approximately
+      EXPECT_EQ(rec.estimate, e2) << name;
+      EXPECT_EQ(rec.estimator, diag->Name()) << name;
+      EXPECT_EQ(rec.num_predicates,
+                static_cast<int>(lq.q.predicates.size()))
+          << name;
+    }
+  }
+}
+
+TEST(ExplainTest, HistogramPerPredicateSelectivities) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(20000, 50, 0.0, 0.0), 5);
+  HistogramEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 24}, {{0, 1}, 10, 10}};
+  ExplainRecord rec;
+  double estimate = est.EstimateWithDiagnostics(q, &rec);
+  ASSERT_EQ(rec.predicates.size(), 2u);
+  double product = 1.0;
+  for (const PredicateExplain& p : rec.predicates) {
+    EXPECT_EQ(p.source, "mcv+equidepth");
+    EXPECT_GE(p.selectivity, 0.0);
+    EXPECT_LE(p.selectivity, 1.0);
+    product *= p.selectivity;
+  }
+  // Single table: the estimate is rows * product of attributed selectivities.
+  EXPECT_NEAR(estimate, 20000.0 * product, 1e-6 * estimate + 1e-6);
+}
+
+TEST(ExplainTest, MultiHistUniformFallbackCountedAndExplained) {
+  telemetry::SetMetricsEnabledForTesting(1);
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(10000, 40, 0.0, 0.0), 6);
+  MultiDimHistogramEstimator::Options opts;
+  opts.max_dims = 1;  // only column a is gridded; b falls back to uniform
+  MultiDimHistogramEstimator est(opts);
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 19}, {{0, 1}, 0, 19}};
+  telemetry::Counter& fallback_counter =
+      telemetry::MetricsRegistry::Global().counter(
+          "ce.multihist.uniform_fallback");
+  uint64_t before = fallback_counter.Value();
+  ExplainRecord rec;
+  est.EstimateWithDiagnostics(q, &rec);
+  EXPECT_EQ(fallback_counter.Value(), before + 1);
+  ASSERT_EQ(rec.fallbacks.size(), 1u);
+  EXPECT_EQ(rec.fallbacks[0].site, "multihist.uniform_column");
+  // The same silent fallback fires on the plain path too.
+  est.EstimateCardinality(q);
+  EXPECT_EQ(fallback_counter.Value(), before + 2);
+  bool found_grid = false, found_fallback = false;
+  for (const PredicateExplain& p : rec.predicates) {
+    if (p.source == "grid") found_grid = true;
+    if (p.source == "uniform_fallback") found_fallback = true;
+  }
+  EXPECT_TRUE(found_grid);
+  EXPECT_TRUE(found_fallback);
+  telemetry::SetMetricsEnabledForTesting(-1);
+}
+
+TEST(ExplainTest, SpnKeyColumnUniformFallbackCountedAndExplained) {
+  telemetry::SetMetricsEnabledForTesting(1);
+  // A table with a key column: the SPN never models it, so a predicate on it
+  // takes the uniform fallback. Workload validation forbids key predicates,
+  // so the query is constructed directly.
+  storage::datagen::DatabaseGenSpec spec;
+  spec.name = "keyed";
+  spec.tables.push_back(
+      {"t", 5000, {{.name = "id", .is_key = true}, {.name = "a", .domain = 30}}});
+  auto db = storage::datagen::Generate(spec, 7);
+  SpnEstimator est;
+  ASSERT_TRUE(est.Build(*db, {}).ok());
+  query::Query q;
+  q.tables = {0};
+  q.predicates = {{{0, 0}, 0, 999}, {{0, 1}, 3, 9}};  // id constrained
+  telemetry::Counter& fallback_counter =
+      telemetry::MetricsRegistry::Global().counter("ce.spn.uniform_fallback");
+  uint64_t before = fallback_counter.Value();
+  ExplainRecord rec;
+  double with_diag = est.EstimateWithDiagnostics(q, &rec);
+  EXPECT_EQ(fallback_counter.Value(), before + 1);
+  bool found = false;
+  for (const FallbackEvent& f : rec.fallbacks) {
+    if (f.site == "spn.key_column_uniform") found = true;
+  }
+  EXPECT_TRUE(found);
+  // The plain path takes (and counts) the same fallback, same estimate.
+  double plain = est.EstimateCardinality(q);
+  EXPECT_EQ(fallback_counter.Value(), before + 2);
+  EXPECT_EQ(plain, with_diag);
+  telemetry::SetMetricsEnabledForTesting(-1);
+}
+
+TEST(ExplainTest, ModelCountersPerFamily) {
+  auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.02), 8);
+  workload::WorkloadGenerator gen(db.get(), {});
+  Rng rng(9);
+  auto train = gen.GenerateLabeled(150, &rng);
+  auto test = gen.GenerateLabeled(5, &rng);
+  NeuralOptions neural;
+  neural.hidden_dim = 16;
+  neural.epochs = 3;
+
+  auto has_counter = [](const ExplainRecord& rec, const std::string& name) {
+    for (const auto& [k, v] : rec.counters) {
+      if (k == name) return true;
+    }
+    return false;
+  };
+
+  struct Expectation {
+    const char* estimator;
+    const char* counter;
+  };
+  const std::vector<Expectation> expectations = {
+      {"LW-XGB", "max_path_depth"},   // GBDT tree-path depth
+      {"FCN", "feat_l2"},             // featurization stats
+      {"DeepDB-SPN", "leaf_visits"},  // SPN node visits
+      {"Naru", "sampling_budget"},    // progressive-sampling budget
+      {"Sampling", "sample_matches"},
+  };
+  for (const Expectation& e : expectations) {
+    auto est = MakeEstimator(e.estimator, neural, 10);
+    ASSERT_TRUE(est->Build(*db, train).ok()) << e.estimator;
+    ExplainRecord rec;
+    est->EstimateWithDiagnostics(test[0].q, &rec);
+    EXPECT_TRUE(has_counter(rec, e.counter))
+        << e.estimator << " missing counter " << e.counter;
+  }
+}
+
+TEST(ExplainTest, ToJsonLineParsesAndRoundTrips) {
+  ExplainRecord rec;
+  rec.estimator = "FCN";
+  rec.estimate = 123.5;
+  rec.truth = 100;
+  rec.qerror = 1.235;
+  rec.latency_us = 17.25;
+  rec.num_tables = 2;
+  rec.num_joins = 1;
+  rec.num_predicates = 1;
+  rec.predicates.push_back({0, 1, 5, 9, 0.25, "mcv+equidepth"});
+  rec.AddFallback("spn.key_column_uniform", "table=0 column=2");
+  rec.AddCounter("leaf_visits", 12);
+
+  std::string line = rec.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  json::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json::Parse(line, &v, &error)) << error;
+  EXPECT_EQ(v.Find("estimator")->string, "FCN");
+  EXPECT_DOUBLE_EQ(v.Find("estimate")->number, 123.5);
+  EXPECT_DOUBLE_EQ(v.Find("qerror")->number, 1.235);
+  EXPECT_EQ(v.Find("query")->Find("joins")->number, 1);
+  ASSERT_EQ(v.Find("predicates")->array.size(), 1u);
+  EXPECT_EQ(v.Find("predicates")->array[0].Find("source")->string,
+            "mcv+equidepth");
+  ASSERT_EQ(v.Find("fallbacks")->array.size(), 1u);
+  EXPECT_EQ(v.Find("fallbacks")->array[0].Find("site")->string,
+            "spn.key_column_uniform");
+  EXPECT_DOUBLE_EQ(v.Find("counters")->Find("leaf_visits")->number, 12);
+
+  // Unknown label fields serialize as null, not a sentinel number.
+  ExplainRecord unlabeled;
+  unlabeled.estimator = "Histogram";
+  json::JsonValue u;
+  ASSERT_TRUE(json::Parse(unlabeled.ToJsonLine(), &u, &error)) << error;
+  EXPECT_EQ(u.Find("truth")->kind, json::JsonValue::Kind::kNull);
+  EXPECT_EQ(u.Find("qerror")->kind, json::JsonValue::Kind::kNull);
+  EXPECT_EQ(u.Find("latency_us")->kind, json::JsonValue::Kind::kNull);
+}
+
+}  // namespace
+}  // namespace ce
+}  // namespace lce

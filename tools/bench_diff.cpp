@@ -1,0 +1,90 @@
+// bench_diff: compare two bench run manifests and gate on watched metrics.
+//
+//   bench_diff BASELINE.json CURRENT.json [--rel-tol X] [--watch SUBSTR]...
+//              [--ignore SUBSTR]... [--markdown PATH]
+//
+// Prints a markdown report to stdout (and to --markdown PATH when given).
+// Exit codes: 0 no regression, 1 watched metric regressed (or vanished),
+// 2 usage / IO / parse error. Defaults watch "qerr" with a 25% tolerance, so
+// out of the box it gates accuracy drift while ignoring timing noise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/util/bench_diff.h"
+#include "src/util/fs.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--rel-tol X] "
+               "[--watch SUBSTR]... [--ignore SUBSTR]... [--markdown PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lce::benchdiff::Options;
+  Options options;
+  std::string baseline, current, markdown_path;
+  bool watch_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--rel-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.rel_tol = std::atof(v);
+    } else if (std::strcmp(arg, "--watch") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (!watch_overridden) {
+        options.watch.clear();
+        watch_overridden = true;
+      }
+      options.watch.push_back(v);
+    } else if (std::strcmp(arg, "--ignore") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.ignore.push_back(v);
+    } else if (std::strcmp(arg, "--markdown") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      markdown_path = v;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (baseline.empty()) {
+      baseline = arg;
+    } else if (current.empty()) {
+      current = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (baseline.empty() || current.empty()) return Usage(argv[0]);
+
+  lce::Result<lce::benchdiff::DiffReport> result =
+      lce::benchdiff::DiffFiles(baseline, current, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  const lce::benchdiff::DiffReport& report = result.value();
+  std::string md = report.ToMarkdown();
+  std::fputs(md.c_str(), stdout);
+  if (!markdown_path.empty()) {
+    lce::Status written = lce::fs::WriteStringToFile(markdown_path, md);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench_diff: %s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
+  return report.has_regression() ? 1 : 0;
+}
