@@ -12,17 +12,30 @@ int main() {
               "tree ensembles need fewer queries than deep models");
 
   BenchConfig cfg = BenchConfig::FromEnv();
-  cfg.train_queries = 4000;  // superset; prefixes form the sweep
-  cfg.test_queries = 250;
+  // The labeled superset; prefixes form the sweep. LCE_BENCH_TRAIN_QUERIES
+  // (when set) scales the whole sweep down, so CI can run a small config.
+  if (std::getenv("LCE_BENCH_TRAIN_QUERIES") == nullptr) {
+    cfg.train_queries = 4000;
+  }
+  if (std::getenv("LCE_BENCH_TEST_QUERIES") == nullptr) {
+    cfg.test_queries = 250;
+  }
   BenchDb bench = MakeBenchDb(storage::datagen::DmvLikeSpec(cfg.dmv_scale),
                               cfg);
   ce::NeuralOptions neural = BenchNeuralOptions();
 
-  const std::vector<int> sizes = {250, 500, 1000, 2000, 4000};
+  // Sweep sizes are fixed fractions of the superset (N/16 .. N), so the
+  // qualitative shape survives env resizing.
+  std::vector<int> sizes;
+  for (int divisor : {16, 8, 4, 2, 1}) {
+    int n = cfg.train_queries / divisor;
+    if (n >= 1 && (sizes.empty() || n > sizes.back())) sizes.push_back(n);
+  }
   const std::vector<std::string> models = {"Linear", "FCN", "MSCN", "LSTM",
                                            "LW-XGB"};
-  TablePrinter table({"estimator", "n=250", "n=500", "n=1000", "n=2000",
-                      "n=4000"});
+  std::vector<std::string> header = {"estimator"};
+  for (int n : sizes) header.push_back("n=" + std::to_string(n));
+  TablePrinter table(header);
   for (const std::string& name : models) {
     std::vector<std::string> row = {name};
     for (int n : sizes) {

@@ -10,8 +10,10 @@
 #define LCE_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/exec/oracle_index.h"
 #include "src/query/query.h"
 #include "src/storage/database.h"
 
@@ -23,13 +25,15 @@ namespace exec {
 std::vector<uint8_t> FilterBitmap(const storage::Database& db,
                                   const query::Query& q, int table_index);
 
-/// Number of set bits.
+/// Number of set bits. Bytes must be 0 or 1 (the FilterBitmap contract);
+/// counts eight bytes per step via a word-wide byte sum.
 uint64_t CountSet(const std::vector<uint8_t>& bitmap);
 
 class Executor {
  public:
   /// `db` must outlive the executor.
-  explicit Executor(const storage::Database* db) : db_(db) {}
+  explicit Executor(const storage::Database* db)
+      : db_(db), accel_(std::make_unique<OracleIndex>(db)) {}
 
   /// Opts this executor into the LCE_QUERY_LOG sink: every Cardinality call
   /// appends a kind="exec" record (exact count + latency). Off by default so
@@ -51,7 +55,14 @@ class Executor {
   const storage::Database& db() const { return *db_; }
 
  private:
+  /// One TreeCount over `tables`/`edges`, dispatched to the indexed path
+  /// (LCE_ORACLE_INDEX, default) or the naive row-by-row scan. The two are
+  /// exact-integer-identical (asserted by tests/oracle_equivalence_test.cpp).
+  double Count(const query::Query& q, const std::vector<int>& tables,
+               const std::vector<int>& edges) const;
+
   const storage::Database* db_;
+  std::unique_ptr<OracleIndex> accel_;
   bool log_queries_ = false;
 };
 

@@ -1,0 +1,190 @@
+#include "src/storage/column_index.h"
+
+#include <algorithm>
+
+#include "src/storage/database.h"
+#include "src/util/logging.h"
+#include "src/util/parallel.h"
+
+namespace lce {
+namespace storage {
+
+namespace {
+
+std::unique_ptr<SortedColumnIndex> BuildColumnIndex(const Table& t,
+                                                    int column) {
+  auto index = std::make_unique<SortedColumnIndex>();
+  const std::vector<Value>& col = t.column(column);
+  index->rows.resize(col.size());
+  for (uint64_t r = 0; r < col.size(); ++r) {
+    index->rows[r] = static_cast<uint32_t>(r);
+  }
+  // Ties broken by row id so the built index is a deterministic function of
+  // the column contents.
+  std::sort(index->rows.begin(), index->rows.end(),
+            [&col](uint32_t a, uint32_t b) {
+              return col[a] != col[b] ? col[a] < col[b] : a < b;
+            });
+  index->values.resize(col.size());
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    index->values[i] = col[index->rows[i]];
+  }
+  index->built_version = t.version();
+  return index;
+}
+
+std::unique_ptr<JoinKeyIndex> BuildEdgeIndex(const std::vector<Value>& lcol,
+                                             const std::vector<Value>& rcol,
+                                             uint64_t left_version,
+                                             uint64_t right_version) {
+  // Dictionary over the union of both sides, so a key present on either side
+  // has an id and equal values agree across sides.
+  std::vector<Value> dict;
+  dict.reserve(lcol.size() + rcol.size());
+  dict.insert(dict.end(), lcol.begin(), lcol.end());
+  dict.insert(dict.end(), rcol.begin(), rcol.end());
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+  auto index = std::make_unique<JoinKeyIndex>();
+  index->domain = static_cast<uint32_t>(dict.size());
+  auto remap = [&dict](const std::vector<Value>& col,
+                       std::vector<uint32_t>* ids) {
+    ids->resize(col.size());
+    for (uint64_t r = 0; r < col.size(); ++r) {
+      (*ids)[r] = static_cast<uint32_t>(
+          std::lower_bound(dict.begin(), dict.end(), col[r]) - dict.begin());
+    }
+  };
+  remap(lcol, &index->left_ids);
+  remap(rcol, &index->right_ids);
+  index->left_counts.assign(index->domain, 0.0);
+  for (uint32_t id : index->left_ids) index->left_counts[id] += 1.0;
+  index->right_counts.assign(index->domain, 0.0);
+  for (uint32_t id : index->right_ids) index->right_counts[id] += 1.0;
+  index->built_version_left = left_version;
+  index->built_version_right = right_version;
+  return index;
+}
+
+}  // namespace
+
+std::pair<uint64_t, uint64_t> SortedColumnIndex::EqualRange(Value lo,
+                                                            Value hi) const {
+  auto first = std::lower_bound(values.begin(), values.end(), lo);
+  auto last = std::upper_bound(first, values.end(), hi);
+  return {static_cast<uint64_t>(first - values.begin()),
+          static_cast<uint64_t>(last - values.begin())};
+}
+
+DatabaseIndex::DatabaseIndex(const Database* db) : db_(db) {
+  columns_.resize(db_->num_tables());
+  for (int t = 0; t < db_->num_tables(); ++t) {
+    columns_[t].resize(db_->table(t).num_columns());
+  }
+  edges_.resize(db_->schema().joins.size());
+}
+
+const SortedColumnIndex& DatabaseIndex::Column(int table, int column) const {
+  const Table& t = db_->table(table);
+  LCE_CHECK(column >= 0 && column < t.num_columns());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<SortedColumnIndex>& slot = columns_[table][column];
+    if (slot != nullptr && slot->built_version == t.version()) return *slot;
+  }
+  // Built outside the lock so Prebuild() can construct many indexes across
+  // the pool. Concurrent duplicate builds are value-identical; the first
+  // installed copy wins, so references already handed out stay valid.
+  std::unique_ptr<SortedColumnIndex> index = BuildColumnIndex(t, column);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<SortedColumnIndex>& slot = columns_[table][column];
+  if (slot == nullptr || slot->built_version != t.version()) {
+    slot = std::move(index);
+  }
+  return *slot;
+}
+
+const JoinKeyIndex& DatabaseIndex::Edge(int edge) const {
+  const DatabaseSchema& schema = db_->schema();
+  LCE_CHECK(edge >= 0 && edge < static_cast<int>(schema.joins.size()));
+  const JoinEdge& je = schema.joins[edge];
+  int lt = schema.TableIndex(je.left_table);
+  int rt = schema.TableIndex(je.right_table);
+  const Table& left = db_->table(lt);
+  const Table& right = db_->table(rt);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<JoinKeyIndex>& slot = edges_[edge];
+    if (slot != nullptr && slot->built_version_left == left.version() &&
+        slot->built_version_right == right.version()) {
+      return *slot;
+    }
+  }
+  int lc = schema.tables[lt].ColumnIndex(je.left_column);
+  int rc = schema.tables[rt].ColumnIndex(je.right_column);
+  LCE_CHECK(lc >= 0 && rc >= 0);
+  std::unique_ptr<JoinKeyIndex> index = BuildEdgeIndex(
+      left.column(lc), right.column(rc), left.version(), right.version());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<JoinKeyIndex>& slot = edges_[edge];
+  if (slot == nullptr || slot->built_version_left != left.version() ||
+      slot->built_version_right != right.version()) {
+    slot = std::move(index);
+  }
+  return *slot;
+}
+
+void DatabaseIndex::Prebuild(bool include_edges) const {
+  const DatabaseSchema& schema = db_->schema();
+  struct Item {
+    int table;
+    int column;
+    int edge;  // >= 0: a join edge; otherwise a (table, column) pair
+  };
+  std::vector<Item> items;
+  for (int t = 0; t < db_->num_tables(); ++t) {
+    const TableSchema& ts = schema.tables[t];
+    for (size_t c = 0; c < ts.columns.size(); ++c) {
+      if (ts.columns[c].is_key) continue;
+      items.push_back({t, static_cast<int>(c), -1});
+    }
+  }
+  if (include_edges) {
+    for (size_t e = 0; e < schema.joins.size(); ++e) {
+      items.push_back({-1, -1, static_cast<int>(e)});
+    }
+  }
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(items.size()), 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const Item& item = items[static_cast<size_t>(i)];
+          if (item.edge >= 0) {
+            Edge(item.edge);
+          } else {
+            Column(item.table, item.column);
+          }
+        }
+      });
+}
+
+uint64_t DatabaseIndex::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& per_table : columns_) {
+    for (const auto& c : per_table) {
+      if (c == nullptr) continue;
+      total += c->values.size() * sizeof(Value) +
+               c->rows.size() * sizeof(uint32_t);
+    }
+  }
+  for (const auto& e : edges_) {
+    if (e == nullptr) continue;
+    total += (e->left_ids.size() + e->right_ids.size()) * sizeof(uint32_t) +
+             (e->left_counts.size() + e->right_counts.size()) * sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace storage
+}  // namespace lce

@@ -1,0 +1,101 @@
+// Oracle acceleration indexes over a Database (see DESIGN.md §8).
+//
+// Two structures, both built lazily on first use and shared by every
+// executor over the same Database:
+//
+//   SortedColumnIndex — one column's values in ascending order plus the row
+//     id each value came from. A range predicate [lo, hi] becomes two binary
+//     searches yielding a contiguous run of candidate rows, so selective
+//     filters touch O(selected) rows instead of O(rows).
+//
+//   JoinKeyIndex — the distinct join-key values across both endpoint columns
+//     of one join edge, remapped to contiguous uint32 ids, with per-row id
+//     arrays for each endpoint. Join messages then become flat
+//     std::vector<double> accumulators indexed by dense id instead of
+//     per-query unordered_maps (no hashing, no rehash churn).
+//
+// Staleness: every index remembers the owning table's version at build time
+// and is rebuilt transparently after appends (experiment R10's drift path).
+// Accessors are serialized by a mutex; returned references stay valid until
+// the underlying table data changes, which is already required to be
+// quiescent while queries run.
+
+#ifndef LCE_STORAGE_COLUMN_INDEX_H_
+#define LCE_STORAGE_COLUMN_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/storage/types.h"
+
+namespace lce {
+namespace storage {
+
+class Database;
+
+/// Sorted view of one column: `values` ascending, `rows[i]` = the row id
+/// `values[i]` came from.
+struct SortedColumnIndex {
+  std::vector<Value> values;
+  std::vector<uint32_t> rows;
+  uint64_t built_version = 0;
+
+  /// Positions [first, last) of values in [lo, hi]; last - first is the
+  /// exact number of rows satisfying the predicate.
+  std::pair<uint64_t, uint64_t> EqualRange(Value lo, Value hi) const;
+};
+
+/// Dense remapping of one join edge's key domain. Ids cover the union of
+/// distinct values on both endpoint columns, so every row on either side has
+/// a valid id and equal values map to equal ids across sides.
+struct JoinKeyIndex {
+  uint32_t domain = 0;             // number of distinct key values
+  std::vector<uint32_t> left_ids;  // per-row dense id, left endpoint column
+  std::vector<uint32_t> right_ids; // per-row dense id, right endpoint column
+  /// Rows per dense id on each side (exact integer counts stored as double).
+  /// An unfiltered leaf table's join message IS its side's histogram, so the
+  /// executor serves those messages from here without touching any row.
+  std::vector<double> left_counts;
+  std::vector<double> right_counts;
+  uint64_t built_version_left = 0;
+  uint64_t built_version_right = 0;
+};
+
+/// Lazily-built index collection for one Database. Thread-safe: concurrent
+/// labeling workers share one instance (see Database::index()).
+class DatabaseIndex {
+ public:
+  /// `db` must outlive the index.
+  explicit DatabaseIndex(const Database* db);
+
+  /// The sorted index of (table, column), building or rebuilding it if the
+  /// table changed since the last build.
+  const SortedColumnIndex& Column(int table, int column) const;
+
+  /// The dense join-key index of schema join edge `edge`.
+  const JoinKeyIndex& Edge(int edge) const;
+
+  /// Eagerly builds every index a labeling run can touch — the sorted
+  /// indexes of all non-key columns (key columns never carry predicates or
+  /// quantile lookups) and, when `include_edges`, all join-key remaps —
+  /// across the thread pool. Lazy first-touch builds serialize behind the
+  /// index mutex inside query loops; call this once per database up front.
+  void Prebuild(bool include_edges) const;
+
+  /// Approximate footprint of all built indexes.
+  uint64_t SizeBytes() const;
+
+ private:
+  const Database* db_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::vector<std::unique_ptr<SortedColumnIndex>>> columns_;
+  mutable std::vector<std::unique_ptr<JoinKeyIndex>> edges_;
+};
+
+}  // namespace storage
+}  // namespace lce
+
+#endif  // LCE_STORAGE_COLUMN_INDEX_H_

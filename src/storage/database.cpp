@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "src/storage/column_index.h"
 #include "src/util/logging.h"
 
 namespace lce {
@@ -18,6 +19,14 @@ Database::Database(DatabaseSchema schema) : schema_(std::move(schema)) {
     LCE_CHECK_MSG(schema_.TableIndex(j.right_table) >= 0,
                   "join references unknown table " << j.right_table);
   }
+}
+
+Database::~Database() = default;
+
+const DatabaseIndex& Database::index() const {
+  std::call_once(index_once_,
+                 [this] { index_ = std::make_unique<DatabaseIndex>(this); });
+  return *index_;
 }
 
 Table& Database::table(int index) {

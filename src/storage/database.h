@@ -6,6 +6,7 @@
 #define LCE_STORAGE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,9 +17,12 @@
 namespace lce {
 namespace storage {
 
+class DatabaseIndex;
+
 class Database {
  public:
   explicit Database(DatabaseSchema schema);
+  ~Database();
 
   const DatabaseSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
@@ -47,9 +51,17 @@ class Database {
   /// Total data footprint across tables.
   uint64_t SizeBytes() const;
 
+  /// The oracle acceleration indexes over this database (sorted columns,
+  /// dense join-key remappings; see src/storage/column_index.h). Created on
+  /// first use and shared by every executor, so the build cost is paid once
+  /// per database no matter how many oracles replay against it.
+  const DatabaseIndex& index() const;
+
  private:
   DatabaseSchema schema_;
   std::vector<std::unique_ptr<Table>> tables_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<DatabaseIndex> index_;
 };
 
 }  // namespace storage

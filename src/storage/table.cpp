@@ -33,6 +33,7 @@ void Table::AppendRow(const std::vector<Value>& row) {
                 "row width mismatch on table " << schema_.name);
   for (size_t c = 0; c < row.size(); ++c) columns_[c].push_back(row[c]);
   ++num_rows_;
+  ++version_;
   finalized_ = false;
 }
 
@@ -47,6 +48,7 @@ void Table::AppendColumns(const std::vector<std::vector<Value>>& columns) {
     columns_[c].insert(columns_[c].end(), columns[c].begin(), columns[c].end());
   }
   num_rows_ += added;
+  ++version_;
   finalized_ = false;
 }
 

@@ -27,6 +27,11 @@ class Table {
   uint64_t num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
+  /// Data version, bumped by every append. Derived structures (sorted column
+  /// indexes, join-key remappings) record the version they were built at and
+  /// rebuild when it moves.
+  uint64_t version() const { return version_; }
+
   /// Direct read access to a column's data.
   const std::vector<Value>& column(int index) const;
 
@@ -60,6 +65,7 @@ class Table {
   std::vector<std::vector<Value>> columns_;
   std::vector<ColumnStats> stats_;
   uint64_t num_rows_ = 0;
+  uint64_t version_ = 0;
   bool finalized_ = false;
 };
 

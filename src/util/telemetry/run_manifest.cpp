@@ -126,7 +126,16 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_DRIFT_WINDOW");
   WriteEnvEntry(&w, "LCE_DRIFT_THRESHOLD");
   WriteEnvEntry(&w, "LCE_BENCH_OUT_DIR");
+  WriteEnvEntry(&w, "LCE_ORACLE_INDEX");
+  WriteEnvEntry(&w, "LCE_BITMAP_CACHE_SIZE");
   w.EndObject();
+  // Mirrors exec::OracleIndexEnabled()'s env parse (telemetry cannot depend
+  // on exec); test-only overrides are not reflected here.
+  {
+    const char* v = std::getenv("LCE_ORACLE_INDEX");
+    w.Key("oracle_index_enabled")
+        .Value(v == nullptr || std::string_view(v) != "0");
+  }
   w.Key("metrics_enabled").Value(MetricsEnabled());
   w.Key("trace_path");
   if (TraceEnabled()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/storage/column_index.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry/telemetry.h"
@@ -28,10 +29,11 @@ telemetry::Counter& LabelFallbacks() {
 WorkloadGenerator::WorkloadGenerator(const storage::Database* db,
                                      WorkloadOptions options)
     : db_(db), options_(std::move(options)), executor_(db) {
-  sorted_cache_.resize(db_->num_tables());
-  for (int t = 0; t < db_->num_tables(); ++t) {
-    sorted_cache_[t].resize(db_->table(t).num_columns());
-  }
+  // Every labeling run touches the sorted columns (predicate-center quantile
+  // lookups) and, with the accelerated oracle, the join-key remaps. Build
+  // them across the pool now instead of serializing lazy first-touch builds
+  // behind the index mutex inside the labeling loop.
+  db_->index().Prebuild(/*include_edges=*/exec::OracleIndexEnabled());
   LCE_CHECK(options_.max_joins >= 0);
   LCE_CHECK(options_.min_predicates >= 0);
   LCE_CHECK(options_.max_predicates >= options_.min_predicates);
@@ -167,12 +169,7 @@ query::Query WorkloadGenerator::BuildFromTemplate(const std::vector<int>& tables
 
 const std::vector<storage::Value>& WorkloadGenerator::SortedColumn(
     int table, int column) const {
-  std::vector<storage::Value>& cached = sorted_cache_[table][column];
-  if (cached.empty()) {
-    cached = db_->table(table).column(column);
-    std::sort(cached.begin(), cached.end());
-  }
-  return cached;
+  return db_->index().Column(table, column).values;
 }
 
 query::Query WorkloadGenerator::GenerateQuery(Rng* rng) const {

@@ -75,14 +75,14 @@ class WorkloadGenerator {
   std::vector<int> RandomTemplate(Rng* rng) const;
   /// One rejection-sampled labeled query (the body of GenerateLabeled).
   query::LabeledQuery LabelOne(Rng* rng) const;
-  /// Sorted copy of a column's values, built lazily (quantile lookups).
+  /// A column's values in ascending order (quantile lookups), served by the
+  /// database's shared oracle index — the same structure the executor's
+  /// indexed filters probe, so labeling builds each sorted column once.
   const std::vector<storage::Value>& SortedColumn(int table, int column) const;
 
   const storage::Database* db_;
   WorkloadOptions options_;
   exec::Executor executor_;
-  // Lazy per-column sorted values for quantile-based predicate centers.
-  mutable std::vector<std::vector<std::vector<storage::Value>>> sorted_cache_;
 };
 
 }  // namespace workload

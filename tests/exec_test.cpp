@@ -56,6 +56,36 @@ double BruteForceCount(const storage::Database& db, const query::Query& q) {
   return count;
 }
 
+// Reference implementation the word-wide CountSet must agree with.
+uint64_t CountSetNaive(const std::vector<uint8_t>& bitmap) {
+  uint64_t n = 0;
+  for (uint8_t b : bitmap) n += b;
+  return n;
+}
+
+TEST(CountSetTest, MatchesNaiveLoopOnOddLengths) {
+  Rng rng(11);
+  // Sweep lengths around the 8-byte word boundary, plus larger odd sizes, so
+  // both the word loop and the scalar tail are exercised at every remainder.
+  for (size_t len : {0u, 1u, 2u, 7u, 8u, 9u, 15u, 16u, 17u, 63u, 64u, 65u,
+                     1001u, 4093u}) {
+    std::vector<uint8_t> bitmap(len);
+    for (auto& b : bitmap) b = rng.Bernoulli(0.4) ? 1 : 0;
+    EXPECT_EQ(CountSet(bitmap), CountSetNaive(bitmap)) << "len=" << len;
+  }
+  EXPECT_EQ(CountSet(std::vector<uint8_t>(129, 1)), 129u);
+  EXPECT_EQ(CountSet(std::vector<uint8_t>(77, 0)), 0u);
+}
+
+TEST(ExecutorDeathTest, SubsetCardinalityRejectsEmptyTableSet) {
+  auto db = storage::datagen::Generate(
+      storage::datagen::SyntheticPairSpec(100, 10, 0.0, 0.0), 5);
+  Executor ex(db.get());
+  query::Query q;
+  q.tables = {0};
+  EXPECT_DEATH(ex.SubsetCardinality(q, {}), "non-empty table subset");
+}
+
 TEST(ExecutorTest, SingleTableCountMatchesBitmap) {
   auto db = storage::datagen::Generate(
       storage::datagen::SyntheticPairSpec(5000, 40, 1.0, 0.5), 3);
