@@ -20,10 +20,13 @@
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/table_printer.h"
+#include "src/util/telemetry/memory.h"
+#include "src/util/telemetry/model_card.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/run_manifest.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
+#include "src/util/telemetry/train_log.h"
 #include "src/util/timer.h"
 #include "src/workload/generator.h"
 
@@ -168,6 +171,17 @@ inline EstimatorRun RunEstimator(const std::string& name, const BenchDb& bench,
   run.latency = eval::MeasureEstimateLatency(est.get(), bench.test);
   run.size_bytes = est->SizeBytes();
   run.ok = true;
+  // Model card: the estimator fills what it tracks (family, parameters,
+  // epochs, losses); the harness owns the run-level context.
+  {
+    telemetry::ModelCard card;
+    est->DescribeModel(&card);
+    card.dataset = bench.name;
+    card.build_seconds = run.build_seconds;
+    card.extra.emplace_back("qerr_p50", run.accuracy.summary.p50);
+    card.extra.emplace_back("qerr_p95", run.accuracy.summary.p95);
+    telemetry::ModelCardRegistry::Global().Add(std::move(card));
+  }
   return run;
 }
 
@@ -183,6 +197,7 @@ class BenchRun {
   }
   ~BenchRun() {
     telemetry::QueryLog::Global().Flush();
+    telemetry::TrainLog::Global().Flush();
     telemetry::WriteRunManifest(
         BenchOutPath("BENCH_manifest_" + name_ + ".json"), name_,
         timer_.ElapsedSeconds());

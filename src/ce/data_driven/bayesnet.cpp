@@ -7,6 +7,7 @@
 #include "src/ce/join_formula.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/train_log.h"
 
 namespace lce {
 namespace ce {
@@ -62,8 +63,23 @@ void BayesNetTableModel::Fit(const storage::Table& table,
   uint64_t n = table.num_rows();
   uint64_t take = std::min(options.max_training_rows, n);
   std::vector<std::vector<int>> cols(d, std::vector<int>(take));
+  const bool train_log = telemetry::TrainLogEnabled();
+  auto emit_phase = [&](const char* name, int64_t index, int64_t start_ns,
+                        double extra_value, const char* extra_key) {
+    telemetry::TrainingEvent ev;
+    ev.family = "bayesnet";
+    ev.event = "phase";
+    ev.phase = name;
+    ev.index = index;
+    ev.examples = static_cast<int64_t>(take);
+    ev.wall_seconds =
+        static_cast<double>(telemetry::MonotonicNanos() - start_ns) / 1e9;
+    if (extra_key != nullptr) ev.extra.emplace_back(extra_key, extra_value);
+    telemetry::RecordTrainingEvent(std::move(ev));
+  };
   {
     telemetry::ScopedPhase phase("bayesnet/sample_bin");
+    int64_t phase_start = train_log ? telemetry::MonotonicNanos() : 0;
     std::vector<uint64_t> ids(n);
     for (uint64_t i = 0; i < n; ++i) ids[i] = i;
     for (uint64_t i = 0; i < take; ++i) {
@@ -77,6 +93,10 @@ void BayesNetTableModel::Fit(const storage::Table& table,
         cols[m][i] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
       }
     }
+    if (train_log) {
+      emit_phase("sample_bin", 0, phase_start, static_cast<double>(d),
+                 "columns");
+    }
   }
   auto bins_of = [&](size_t m) {
     return binners_[modeled_cols_[m]].num_bins();
@@ -85,6 +105,7 @@ void BayesNetTableModel::Fit(const storage::Table& table,
   // Chow–Liu: Prim's maximum spanning tree on pairwise MI.
   if (d > 1) {
     telemetry::ScopedPhase phase("bayesnet/structure");
+    int64_t phase_start = train_log ? telemetry::MonotonicNanos() : 0;
     std::vector<bool> in_tree(d, false);
     std::vector<double> best_mi(d, -1.0);
     std::vector<int> best_parent(d, -1);
@@ -116,10 +137,15 @@ void BayesNetTableModel::Fit(const storage::Table& table,
         }
       }
     }
+    if (train_log) {
+      emit_phase("structure", 1, phase_start, static_cast<double>(d - 1),
+                 "edges");
+    }
   }
 
   // Parameters: root prior and per-edge CPTs (Laplace-smoothed).
   telemetry::ScopedPhase phase("bayesnet/cpt");
+  int64_t cpt_start = train_log ? telemetry::MonotonicNanos() : 0;
   prior_[root_].assign(bins_of(root_), 1e-6);
   for (uint64_t i = 0; i < take; ++i) prior_[root_][cols[root_][i]] += 1.0;
   double total = 0;
@@ -139,6 +165,13 @@ void BayesNetTableModel::Fit(const storage::Table& table,
       for (double v : cpt_[m][p]) row_total += v;
       for (double& v : cpt_[m][p]) v /= row_total;
     }
+  }
+  if (train_log) {
+    double cells = 0;
+    for (const auto& t : cpt_) {
+      for (const auto& row : t) cells += static_cast<double>(row.size());
+    }
+    emit_phase("cpt", 2, cpt_start, cells, "cpt_cells");
   }
 }
 
@@ -203,6 +236,15 @@ uint64_t BayesNetTableModel::SizeBytes() const {
   return bytes;
 }
 
+uint64_t BayesNetTableModel::NumParameters() const {
+  uint64_t n = 0;
+  for (const auto& p : prior_) n += p.size();
+  for (const auto& table : cpt_) {
+    for (const auto& row : table) n += row.size();
+  }
+  return n;
+}
+
 Status BayesNetEstimator::Build(
     const storage::Database& db,
     const std::vector<query::LabeledQuery>& training) {
@@ -217,6 +259,7 @@ Status BayesNetEstimator::UpdateWithData(const storage::Database& db) {
   models_.resize(db.num_tables());
   table_rows_.assign(db.num_tables(), 0);
   distinct_.assign(db.num_tables(), {});
+  train_examples_ = 0;
   for (int t = 0; t < db.num_tables(); ++t) {
     const storage::Table& table = db.table(t);
     if (!table.finalized()) {
@@ -224,6 +267,8 @@ Status BayesNetEstimator::UpdateWithData(const storage::Database& db) {
     }
     Rng fork = rng.Fork();
     models_[t].Fit(table, options_, &fork);
+    train_examples_ += static_cast<int64_t>(
+        std::min(options_.max_training_rows, table.num_rows()));
     table_rows_[t] = static_cast<double>(table.num_rows());
     distinct_[t].resize(table.num_columns());
     for (int c = 0; c < table.num_columns(); ++c) {
@@ -306,6 +351,17 @@ uint64_t BayesNetEstimator::SizeBytes() const {
   uint64_t bytes = 0;
   for (const auto& m : models_) bytes += m.SizeBytes();
   return bytes;
+}
+
+void BayesNetEstimator::DescribeModel(telemetry::ModelCard* card) const {
+  card->model = Name();
+  card->family = "bayesnet";
+  card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  card->train_examples = train_examples_;
+  uint64_t params = 0;
+  for (const auto& m : models_) params += m.NumParameters();
+  card->parameter_count = static_cast<int64_t>(params);
+  card->extra.emplace_back("tables", static_cast<double>(models_.size()));
 }
 
 }  // namespace ce

@@ -49,6 +49,9 @@ class BayesNetTableModel {
 
   uint64_t SizeBytes() const;
 
+  /// Learned probabilities: root-prior entries plus CPT cells.
+  uint64_t NumParameters() const;
+
  private:
   /// Upward message of `node`: for each of its bins, P(subtree indicators,
   /// node = bin | ...) excluding the link to its parent.
@@ -84,6 +87,7 @@ class BayesNetEstimator : public Estimator {
                                  ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
+  void DescribeModel(telemetry::ModelCard* card) const override;
 
  private:
   double EstimateImpl(const query::Query& q, ExplainRecord* rec);
@@ -92,6 +96,7 @@ class BayesNetEstimator : public Estimator {
   uint64_t seed_;
   const storage::DatabaseSchema* schema_ = nullptr;
   std::vector<BayesNetTableModel> models_;
+  int64_t train_examples_ = -1;
   std::vector<double> table_rows_;
   std::vector<std::vector<uint64_t>> distinct_;
   std::vector<double> edge_rho_;

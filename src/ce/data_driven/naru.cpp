@@ -8,6 +8,7 @@
 #include "src/nn/adam.h"
 #include "src/util/logging.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/train_log.h"
 
 namespace lce {
 namespace ce {
@@ -89,10 +90,13 @@ void NaruTableModel::Fit(const storage::Table& table, const Options& options,
   std::vector<int> order(take);
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   telemetry::ScopedPhase train_phase("naru/conditional_train");
+  const bool train_log = telemetry::TrainLogEnabled();
   for (size_t m = 1; m < modeled_cols_.size(); ++m) {
     nn::Mlp* net = conditionals_[m - 1].get();
     nn::Adam adam(options.learning_rate);
     for (int epoch = 0; epoch < options.epochs; ++epoch) {
+      int64_t epoch_start = train_log ? telemetry::MonotonicNanos() : 0;
+      double epoch_ce = 0;  // summed -log p[label]; log-only, read-only
       rng->Shuffle(&order);
       for (size_t start = 0; start < order.size();
            start += options.batch_size) {
@@ -115,6 +119,12 @@ void NaruTableModel::Fit(const storage::Table& table, const Options& options,
         for (int i = 0; i < b; ++i) {
           std::vector<float> p = logits.RowVector(i);
           SoftmaxInPlace(&p);
+          if (train_log) {
+            // Cross-entropy from the softmax already computed for the
+            // gradient — pure read, cannot perturb training.
+            epoch_ce -= std::log(
+                std::max(static_cast<double>(p[labels[i]]), 1e-30));
+          }
           for (int c = 0; c < logits.cols(); ++c) {
             grad.At(i, c) = (p[c] - (c == labels[i] ? 1.0f : 0.0f)) /
                             static_cast<float>(b);
@@ -122,6 +132,22 @@ void NaruTableModel::Fit(const storage::Table& table, const Options& options,
         }
         net->Backward(grad);
         adam.Step(net->Params());
+      }
+      if (train_log) {
+        telemetry::TrainingEvent ev;
+        ev.family = "naru";
+        ev.event = "epoch";
+        ev.index = epoch;
+        ev.loss = order.empty()
+                      ? 0.0
+                      : epoch_ce / static_cast<double>(order.size());
+        ev.learning_rate = options.learning_rate;
+        ev.examples = static_cast<int64_t>(order.size());
+        ev.wall_seconds =
+            static_cast<double>(telemetry::MonotonicNanos() - epoch_start) /
+            1e9;
+        ev.extra.emplace_back("column", static_cast<double>(m));
+        telemetry::RecordTrainingEvent(std::move(ev));
       }
     }
   }
@@ -199,6 +225,12 @@ uint64_t NaruTableModel::SizeBytes() const {
   return bytes;
 }
 
+uint64_t NaruTableModel::NumParameters() const {
+  uint64_t n = marginal0_.size();
+  for (const auto& net : conditionals_) n += net->NumParams();
+  return n;
+}
+
 Status NaruEstimator::Build(const storage::Database& db,
                             const std::vector<query::LabeledQuery>& training) {
   (void)training;  // data-driven: learns from the data alone
@@ -212,6 +244,7 @@ Status NaruEstimator::UpdateWithData(const storage::Database& db) {
   models_.resize(db.num_tables());
   table_rows_.assign(db.num_tables(), 0);
   distinct_.assign(db.num_tables(), {});
+  train_examples_ = 0;
   for (int t = 0; t < db.num_tables(); ++t) {
     const storage::Table& table = db.table(t);
     if (!table.finalized()) {
@@ -219,6 +252,8 @@ Status NaruEstimator::UpdateWithData(const storage::Database& db) {
     }
     Rng fork = rng_.Fork();
     models_[t].Fit(table, options_, &fork);
+    train_examples_ += static_cast<int64_t>(
+        std::min(options_.max_training_rows, table.num_rows()));
     table_rows_[t] = static_cast<double>(table.num_rows());
     distinct_[t].resize(table.num_columns());
     for (int c = 0; c < table.num_columns(); ++c) {
@@ -301,6 +336,18 @@ uint64_t NaruEstimator::SizeBytes() const {
   uint64_t bytes = 0;
   for (const auto& m : models_) bytes += m.SizeBytes();
   return bytes;
+}
+
+void NaruEstimator::DescribeModel(telemetry::ModelCard* card) const {
+  card->model = Name();
+  card->family = "naru";
+  card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  card->train_examples = train_examples_;
+  card->epochs = options_.epochs;
+  uint64_t params = 0;
+  for (const auto& m : models_) params += m.NumParameters();
+  card->parameter_count = static_cast<int64_t>(params);
+  card->extra.emplace_back("tables", static_cast<double>(models_.size()));
 }
 
 }  // namespace ce

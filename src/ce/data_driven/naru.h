@@ -75,6 +75,9 @@ class NaruTableModel {
 
   uint64_t SizeBytes() const;
 
+  /// Learned scalars: marginal entries plus conditional-MLP weights.
+  uint64_t NumParameters() const;
+
  private:
   /// Conditional distribution of modeled column `i` given the sampled prefix
   /// (bin ids of modeled columns 0..i-1). Returns a probability vector.
@@ -103,6 +106,7 @@ class NaruEstimator : public Estimator {
                                  ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
+  void DescribeModel(telemetry::ModelCard* card) const override;
 
  private:
   double EstimateImpl(const query::Query& q, ExplainRecord* rec);
@@ -112,6 +116,7 @@ class NaruEstimator : public Estimator {
   Rng rng_;
   const storage::DatabaseSchema* schema_ = nullptr;
   std::vector<NaruTableModel> models_;
+  int64_t train_examples_ = -1;
   std::vector<double> table_rows_;
   std::vector<std::vector<uint64_t>> distinct_;
   std::vector<double> edge_rho_;

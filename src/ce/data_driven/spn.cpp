@@ -8,6 +8,7 @@
 #include "src/util/logging.h"
 #include "src/util/stats.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/train_log.h"
 
 namespace lce {
 namespace ce {
@@ -35,8 +36,10 @@ void SpnTableModel::Fit(const storage::Table& table, const Options& options,
   uint64_t take = std::min(options.max_training_rows, n);
   std::vector<std::vector<int>> data(take,
                                      std::vector<int>(modeled_cols_.size()));
+  const bool train_log = telemetry::TrainLogEnabled();
   {
     telemetry::ScopedPhase phase("spn/sample_bin");
+    int64_t phase_start = train_log ? telemetry::MonotonicNanos() : 0;
     std::vector<uint64_t> ids(n);
     for (uint64_t i = 0; i < n; ++i) ids[i] = i;
     for (uint64_t i = 0; i < take; ++i) {
@@ -50,14 +53,41 @@ void SpnTableModel::Fit(const storage::Table& table, const Options& options,
         data[i][m] = binners_[modeled_cols_[m]].BinOf(col[ids[i]]);
       }
     }
+    if (train_log) {
+      telemetry::TrainingEvent ev;
+      ev.family = "spn";
+      ev.event = "phase";
+      ev.phase = "sample_bin";
+      ev.index = 0;
+      ev.examples = static_cast<int64_t>(take);
+      ev.wall_seconds =
+          static_cast<double>(telemetry::MonotonicNanos() - phase_start) / 1e9;
+      ev.extra.emplace_back("columns",
+                            static_cast<double>(modeled_cols_.size()));
+      telemetry::RecordTrainingEvent(std::move(ev));
+    }
   }
 
   telemetry::ScopedPhase phase("spn/structure");
+  int64_t structure_start = train_log ? telemetry::MonotonicNanos() : 0;
   std::vector<uint32_t> rows(take);
   for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   std::vector<int> cols(modeled_cols_.size());
   for (size_t i = 0; i < cols.size(); ++i) cols[i] = static_cast<int>(i);
   root_ = BuildNode(data, rows, cols, rng);
+  if (train_log) {
+    telemetry::TrainingEvent ev;
+    ev.family = "spn";
+    ev.event = "phase";
+    ev.phase = "structure";
+    ev.index = 1;
+    ev.examples = static_cast<int64_t>(take);
+    ev.wall_seconds =
+        static_cast<double>(telemetry::MonotonicNanos() - structure_start) /
+        1e9;
+    ev.extra.emplace_back("nodes", static_cast<double>(nodes_.size()));
+    telemetry::RecordTrainingEvent(std::move(ev));
+  }
 }
 
 int SpnTableModel::MakeLeaf(const std::vector<std::vector<int>>& data,
@@ -281,6 +311,7 @@ Status SpnEstimator::UpdateWithData(const storage::Database& db) {
   models_.resize(db.num_tables());
   table_rows_.assign(db.num_tables(), 0);
   distinct_.assign(db.num_tables(), {});
+  train_examples_ = 0;
   for (int t = 0; t < db.num_tables(); ++t) {
     const storage::Table& table = db.table(t);
     if (!table.finalized()) {
@@ -288,6 +319,8 @@ Status SpnEstimator::UpdateWithData(const storage::Database& db) {
     }
     Rng fork = rng.Fork();
     models_[t].Fit(table, options_, &fork);
+    train_examples_ += static_cast<int64_t>(
+        std::min(options_.max_training_rows, table.num_rows()));
     table_rows_[t] = static_cast<double>(table.num_rows());
     distinct_[t].resize(table.num_columns());
     for (int c = 0; c < table.num_columns(); ++c) {
@@ -376,6 +409,19 @@ uint64_t SpnEstimator::SizeBytes() const {
   uint64_t bytes = 0;
   for (const auto& m : models_) bytes += m.SizeBytes();
   return bytes;
+}
+
+void SpnEstimator::DescribeModel(telemetry::ModelCard* card) const {
+  card->model = Name();
+  card->family = "spn";
+  card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  card->train_examples = train_examples_;
+  uint64_t nodes = 0;
+  for (const auto& m : models_) nodes += m.num_nodes();
+  // One weight/histogram-cell granularity is noise; node count is the
+  // structural capacity of an SPN.
+  card->parameter_count = static_cast<int64_t>(nodes);
+  card->extra.emplace_back("tables", static_cast<double>(models_.size()));
 }
 
 }  // namespace ce

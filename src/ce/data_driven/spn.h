@@ -111,6 +111,7 @@ class SpnEstimator : public Estimator {
                                  ExplainRecord* rec) override;
   Status UpdateWithData(const storage::Database& db) override;
   uint64_t SizeBytes() const override;
+  void DescribeModel(telemetry::ModelCard* card) const override;
 
  private:
   double EstimateImpl(const query::Query& q, ExplainRecord* rec);
@@ -119,6 +120,7 @@ class SpnEstimator : public Estimator {
   uint64_t seed_;
   const storage::DatabaseSchema* schema_ = nullptr;
   std::vector<SpnTableModel> models_;
+  int64_t train_examples_ = -1;
   std::vector<double> table_rows_;
   std::vector<std::vector<uint64_t>> distinct_;
   std::vector<double> edge_rho_;

@@ -15,6 +15,7 @@
 #include "src/query/query.h"
 #include "src/storage/database.h"
 #include "src/util/status.h"
+#include "src/util/telemetry/model_card.h"
 
 namespace lce {
 namespace ce {
@@ -79,6 +80,21 @@ class Estimator {
   /// Approximate size of the built estimator in bytes (statistics, samples,
   /// or model parameters) — the footprint column of experiment R2.
   virtual uint64_t SizeBytes() const = 0;
+
+  /// Memory footprint of the built model in bytes. Defaults to SizeBytes();
+  /// estimators whose SizeBytes() excludes auxiliary structures (encoders,
+  /// buffers) override this to account for everything the model keeps alive.
+  virtual uint64_t FootprintBytes() const { return SizeBytes(); }
+
+  /// Fills a model card describing the trained estimator: family,
+  /// parameter count, footprint, training-set size, epochs, final loss.
+  /// The base fills name/footprint; trainable families override to add what
+  /// they track. `card` must be non-null; the bench harness supplies
+  /// dataset, build time, and accuracy extras afterwards.
+  virtual void DescribeModel(telemetry::ModelCard* card) const {
+    card->model = Name();
+    card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  }
 };
 
 }  // namespace ce

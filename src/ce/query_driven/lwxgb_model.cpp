@@ -30,6 +30,7 @@ Status LwXgbEstimator::Build(
   telemetry::ScopedPhase phase("lwxgb/fit");
   model_ = std::make_unique<gbdt::GradientBoosting>(options_.gbdt);
   model_->Fit(rows, targets);
+  train_examples_ = static_cast<int64_t>(training.size());
   return Status::OK();
 }
 
@@ -84,6 +85,19 @@ Status LwXgbEstimator::UpdateWithQueries(
 
 uint64_t LwXgbEstimator::SizeBytes() const {
   return model_ ? model_->SizeBytes() : 0;
+}
+
+void LwXgbEstimator::DescribeModel(telemetry::ModelCard* card) const {
+  card->model = Name();
+  card->family = "gbdt";
+  card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  card->train_examples = train_examples_;
+  if (model_ != nullptr) {
+    card->parameter_count = static_cast<int64_t>(model_->NumNodes());
+    card->epochs = static_cast<int64_t>(model_->num_trees());
+    card->extra.emplace_back("trees",
+                             static_cast<double>(model_->num_trees()));
+  }
 }
 
 }  // namespace ce

@@ -39,11 +39,13 @@ class LwXgbEstimator : public Estimator {
   /// Encoding and tree traversal are pure reads of the fitted model.
   bool ThreadSafeEstimate() const override { return true; }
   uint64_t SizeBytes() const override;
+  void DescribeModel(telemetry::ModelCard* card) const override;
 
  private:
   Options options_;
   std::unique_ptr<query::QueryEncoder> encoder_;
   std::unique_ptr<gbdt::GradientBoosting> model_;
+  int64_t train_examples_ = -1;
 };
 
 }  // namespace ce

@@ -9,6 +9,7 @@
 #include "src/util/logging.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
+#include "src/util/telemetry/train_log.h"
 
 namespace lce {
 namespace ce {
@@ -77,13 +78,30 @@ Status NeuralQueryDrivenEstimator::Build(
 
   std::vector<int> order(training.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const bool train_log = telemetry::TrainLogEnabled();
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     telemetry::ScopedPhase phase("nn/epoch");
     telemetry::TraceSpan span("nn/epoch");
+    int64_t epoch_start = train_log ? telemetry::MonotonicNanos() : 0;
     last_epoch_loss_ = RunEpoch(training, &order, &rng_);
     epoch_losses_.push_back(last_epoch_loss_);
     RecordEpochTelemetry(epoch, last_epoch_loss_, &span);
+    if (train_log) {
+      telemetry::TrainingEvent ev;
+      ev.model = Name();
+      ev.family = "nn";
+      ev.event = "epoch";
+      ev.index = epoch;
+      ev.loss = last_epoch_loss_;
+      ev.grad_norm = last_grad_norm_;
+      ev.learning_rate = options_.learning_rate;
+      ev.examples = static_cast<int64_t>(training.size());
+      ev.wall_seconds =
+          static_cast<double>(telemetry::MonotonicNanos() - epoch_start) / 1e9;
+      telemetry::RecordTrainingEvent(std::move(ev));
+    }
   }
+  train_examples_ = static_cast<int64_t>(training.size());
   built_ = true;
   return Status::OK();
 }
@@ -118,6 +136,18 @@ double NeuralQueryDrivenEstimator::RunEpoch(
           break;
       }
       BackwardOne(dpred);
+    }
+    // Gradient norm is read *before* Adam consumes (and zeroes) the grads;
+    // only when the training log wants it — outputs stay bit-identical with
+    // the gate off since nothing else observes the value.
+    if (telemetry::TrainLogEnabled()) {
+      double sq_sum = 0;
+      for (nn::Param* p : Params()) {
+        for (float g : p->grad.data()) {
+          sq_sum += static_cast<double>(g) * g;
+        }
+      }
+      last_grad_norm_ = std::sqrt(sq_sum);
     }
     adam_->Step(Params());
     epoch_loss += batch_loss / b;
@@ -174,18 +204,46 @@ Status NeuralQueryDrivenEstimator::UpdateWithQueries(
   if (queries.empty()) return Status::OK();
   std::vector<int> order(queries.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  const bool train_log = telemetry::TrainLogEnabled();
   for (int epoch = 0; epoch < options_.update_epochs; ++epoch) {
     telemetry::ScopedPhase phase("nn/update_epoch");
     telemetry::TraceSpan span("nn/update_epoch");
+    int64_t epoch_start = train_log ? telemetry::MonotonicNanos() : 0;
     last_epoch_loss_ = RunEpoch(queries, &order, &rng_);
     epoch_losses_.push_back(last_epoch_loss_);
     RecordEpochTelemetry(epoch, last_epoch_loss_, &span);
+    if (train_log) {
+      telemetry::TrainingEvent ev;
+      ev.model = Name();
+      ev.family = "nn";
+      ev.event = "epoch";
+      ev.index = epoch;
+      ev.loss = last_epoch_loss_;
+      ev.grad_norm = last_grad_norm_;
+      ev.learning_rate = options_.learning_rate;
+      ev.examples = static_cast<int64_t>(queries.size());
+      ev.wall_seconds =
+          static_cast<double>(telemetry::MonotonicNanos() - epoch_start) / 1e9;
+      ev.extra.emplace_back("update", 1.0);
+      telemetry::RecordTrainingEvent(std::move(ev));
+    }
   }
   return Status::OK();
 }
 
 uint64_t NeuralQueryDrivenEstimator::SizeBytes() const {
   return NumParams() * sizeof(float);
+}
+
+void NeuralQueryDrivenEstimator::DescribeModel(
+    telemetry::ModelCard* card) const {
+  card->model = Name();
+  card->family = "nn";
+  card->parameter_count = static_cast<int64_t>(NumParams());
+  card->footprint_bytes = static_cast<int64_t>(FootprintBytes());
+  card->train_examples = train_examples_;
+  card->epochs = static_cast<int64_t>(epoch_losses_.size());
+  if (!epoch_losses_.empty()) card->final_train_loss = last_epoch_loss_;
 }
 
 }  // namespace ce

@@ -52,6 +52,7 @@ class NeuralQueryDrivenEstimator : public Estimator {
   Status UpdateWithQueries(
       const std::vector<query::LabeledQuery>& queries) override;
   uint64_t SizeBytes() const override;
+  void DescribeModel(telemetry::ModelCard* card) const override;
 
   /// Initializes encoder and network against `db` without training — the
   /// precondition for LoadModel on a fresh instance.
@@ -98,7 +99,11 @@ class NeuralQueryDrivenEstimator : public Estimator {
   std::unique_ptr<nn::Adam> adam_;
   Rng rng_{42};
   double last_epoch_loss_ = 0;
+  // Pre-step gradient L2 norm of the last minibatch; only maintained while
+  // the training log is enabled (-1 otherwise).
+  double last_grad_norm_ = -1.0;
   std::vector<double> epoch_losses_;
+  int64_t train_examples_ = -1;
   bool built_ = false;
 };
 

@@ -10,6 +10,7 @@
 #include "src/storage/column_index.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/memory.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -172,7 +173,29 @@ void SetBitmapCacheCapacityForTesting(int capacity) {
   g_capacity_override.store(capacity, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Approximate heap footprint of one cache entry: the key string, the row-id
+// vector, and the bookkeeping structs. Feeds the MemoryTracker "cache"
+// subsystem so manifests show how much the LRU actually holds.
+int64_t CacheEntryBytes(const std::string& key, const FilteredTable& f) {
+  return static_cast<int64_t>(sizeof(FilteredTable) + key.size() +
+                              f.rows.capacity() * sizeof(uint32_t));
+}
+
+}  // namespace
+
 OracleIndex::OracleIndex(const storage::Database* db) : db_(db) {}
+
+OracleIndex::~OracleIndex() {
+  // Return this executor's cached bytes to the global accounting; entries
+  // die with the LRU list.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CacheEntry& e : lru_) {
+    telemetry::MemoryTracker::Global().Add(
+        "cache", -CacheEntryBytes(e.key, *e.filtered));
+  }
+}
 
 uint64_t OracleIndex::CountFiltered(const query::Query& q, int table) {
   std::vector<ResolvedPredicate> preds = Resolve(*db_, q, table);
@@ -323,11 +346,16 @@ std::shared_ptr<const FilteredTable> OracleIndex::Filter(const query::Query& q,
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->filtered;
   }
+  telemetry::MemoryTracker::Global().Add("cache",
+                                         CacheEntryBytes(key, *filtered));
   lru_.push_front({key, filtered});
   by_key_[key] = lru_.begin();
   int capacity = BitmapCacheCapacity();
   while (static_cast<int>(lru_.size()) > capacity) {
-    by_key_.erase(lru_.back().key);
+    const CacheEntry& victim = lru_.back();
+    telemetry::MemoryTracker::Global().Add(
+        "cache", -CacheEntryBytes(victim.key, *victim.filtered));
+    by_key_.erase(victim.key);
     lru_.pop_back();
   }
   return filtered;

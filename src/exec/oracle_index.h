@@ -72,6 +72,9 @@ class OracleIndex {
   /// `db` must outlive the index.
   explicit OracleIndex(const storage::Database* db);
 
+  /// Releases the cache's MemoryTracker bytes along with the entries.
+  ~OracleIndex();
+
   /// Exact number of rows of `table` passing q's predicates on it, without
   /// materializing the row set: two binary searches for a single predicate,
   /// a shortest-candidate-range scan otherwise.

@@ -3,6 +3,7 @@
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/train_log.h"
 
 namespace lce {
 namespace gbdt {
@@ -66,7 +67,10 @@ void GradientBoosting::AddTrees(
     }
   });
   std::vector<float> residual(binned.size());
+  const bool train_log = telemetry::TrainLogEnabled();
+  const int64_t round_base = static_cast<int64_t>(trees_.size());
   for (int t = 0; t < num_trees; ++t) {
+    int64_t round_start = train_log ? telemetry::MonotonicNanos() : 0;
     for (size_t i = 0; i < binned.size(); ++i) {
       residual[i] = targets[i] - pred[i];
     }
@@ -75,13 +79,36 @@ void GradientBoosting::AddTrees(
       telemetry::ScopedPhase phase("gbdt/tree_fit");
       tree.Fit(binned, residual, options_.tree, options_.max_bins);
     }
-    telemetry::ScopedPhase phase("gbdt/update_pred");
-    parallel::ParallelFor(0, n, kRowGrain, [&](int64_t b, int64_t e) {
-      for (int64_t i = b; i < e; ++i) {
-        pred[i] += options_.learning_rate * tree.Predict(binned[i]);
-      }
-    });
+    {
+      telemetry::ScopedPhase phase("gbdt/update_pred");
+      parallel::ParallelFor(0, n, kRowGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          pred[i] += options_.learning_rate * tree.Predict(binned[i]);
+        }
+      });
+    }
+    size_t tree_nodes = tree.num_nodes();
     trees_.push_back(std::move(tree));
+    if (train_log) {
+      // Post-round training MSE; read-only over pred/targets, so enabling
+      // the log cannot perturb the fit.
+      double mse = 0;
+      for (size_t i = 0; i < binned.size(); ++i) {
+        double d = static_cast<double>(targets[i]) - pred[i];
+        mse += d * d;
+      }
+      telemetry::TrainingEvent ev;
+      ev.family = "gbdt";
+      ev.event = "round";
+      ev.index = round_base + t;
+      ev.loss = binned.empty() ? 0.0 : mse / static_cast<double>(n);
+      ev.learning_rate = options_.learning_rate;
+      ev.examples = n;
+      ev.wall_seconds =
+          static_cast<double>(telemetry::MonotonicNanos() - round_start) / 1e9;
+      ev.extra.emplace_back("tree_nodes", static_cast<double>(tree_nodes));
+      telemetry::RecordTrainingEvent(std::move(ev));
+    }
   }
 }
 
@@ -113,6 +140,12 @@ float GradientBoosting::PredictWithStats(const std::vector<float>& row,
           ? static_cast<double>(stats->nodes_visited) / stats->trees
           : 0.0;
   return out;
+}
+
+uint64_t GradientBoosting::NumNodes() const {
+  uint64_t nodes = 0;
+  for (const RegressionTree& tree : trees_) nodes += tree.num_nodes();
+  return nodes;
 }
 
 uint64_t GradientBoosting::SizeBytes() const {

@@ -48,6 +48,9 @@ class GradientBoosting {
 
   size_t num_trees() const { return trees_.size(); }
   uint64_t SizeBytes() const;
+  /// Total tree nodes across the ensemble — the model-card parameter count
+  /// (each node carries a split threshold or a leaf value).
+  uint64_t NumNodes() const;
   bool fitted() const { return fitted_; }
 
  private:

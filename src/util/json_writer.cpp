@@ -218,8 +218,18 @@ class Parser {
   bool ParseValue(JsonValue* out) {
     if (pos_ >= text_.size()) return Fail("unexpected end of input");
     switch (text_[pos_]) {
-      case '{': return ParseObject(out);
-      case '[': return ParseArray(out);
+      // Containers recurse one stack frame per level; bound the depth so
+      // adversarial input ("[[[[…") fails with a parse error instead of a
+      // stack overflow.
+      case '{':
+      case '[': {
+        if (depth_ >= kMaxDepth) return Fail("nesting too deep");
+        ++depth_;
+        bool ok =
+            text_[pos_] == '{' ? ParseObject(out) : ParseArray(out);
+        --depth_;
+        return ok;
+      }
       case '"':
         out->kind = JsonValue::Kind::kString;
         return ParseString(&out->string);
@@ -379,9 +389,13 @@ class Parser {
     return true;
   }
 
+  /// Maximum container nesting depth accepted by Parse.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::string* error_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

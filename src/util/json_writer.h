@@ -97,7 +97,8 @@ struct JsonValue {
 
 /// Parses `text` (one complete JSON value, surrounding whitespace ok) into
 /// `*out`. On failure returns false and, when `error` is non-null, stores a
-/// message with the byte offset of the problem.
+/// message with the byte offset of the problem. Container nesting is capped
+/// at 256 levels ("nesting too deep") to keep recursion stack-safe.
 bool Parse(std::string_view text, JsonValue* out, std::string* error = nullptr);
 
 }  // namespace json

@@ -109,6 +109,15 @@ void ThreadPool::Submit(std::function<void()> task) {
     task();
     return;
   }
+  if (telemetry::TraceEnabled()) {
+    // Parent pool work under the submitting span: capture the submitter's
+    // innermost span id now and re-establish it inside the worker, so lane
+    // spans nest in the trace instead of starting orphan roots.
+    task = [parent = telemetry::CurrentSpanId(), inner = std::move(task)] {
+      telemetry::ScopedTraceParent adopt(parent);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->queue.push_back(std::move(task));

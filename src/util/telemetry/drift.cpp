@@ -57,7 +57,13 @@ void DriftMonitor::Observe(double qerror) {
   if (!sketch_.full()) return;
   bool now_above = p95 > options_.threshold_p95;
   if (now_above && !above_) {
-    alerts_.push_back({name_, sketch_.count(), p95, options_.threshold_p95});
+    DriftAlert alert{name_, sketch_.count(), p95, options_.threshold_p95};
+    alerts_.push_back(alert);
+    history_.push_back(std::move(alert));
+    if (history_.size() > kAlertHistory) {
+      history_.erase(history_.begin(),
+                     history_.begin() + (history_.size() - kAlertHistory));
+    }
     reg.counter("drift.alerts").AddAlways(1);
   }
   above_ = now_above;
@@ -83,6 +89,11 @@ std::vector<DriftAlert> DriftMonitor::DrainAlerts() {
   std::vector<DriftAlert> out = std::move(alerts_);
   alerts_.clear();
   return out;
+}
+
+std::vector<DriftAlert> DriftMonitor::AlertHistory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
 }
 
 namespace {
@@ -155,6 +166,16 @@ std::vector<DriftAlert> DrainAllDriftAlerts() {
   std::vector<DriftAlert> out;
   for (auto& [name, monitor] : reg.monitors) {
     for (DriftAlert& a : monitor->DrainAlerts()) out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<DriftAlert> AllDriftAlertHistory() {
+  MonitorRegistry& reg = Monitors();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<DriftAlert> out;
+  for (auto& [name, monitor] : reg.monitors) {
+    for (DriftAlert& a : monitor->AlertHistory()) out.push_back(std::move(a));
   }
   return out;
 }

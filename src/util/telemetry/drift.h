@@ -84,8 +84,16 @@ class DriftMonitor {
   /// Alerts accumulated since the last drain, oldest first.
   std::vector<DriftAlert> DrainAlerts();
 
+  /// The last kAlertHistory alerts ever fired, oldest first — unlike
+  /// DrainAlerts this never consumes, so run manifests and lce_report can
+  /// show what fired even after a bench drained its queue.
+  std::vector<DriftAlert> AlertHistory() const;
+
   const std::string& name() const { return name_; }
   const Options& options() const { return options_; }
+
+  /// Bound on the retained (non-draining) alert history per monitor.
+  static constexpr size_t kAlertHistory = 64;
 
  private:
   std::string name_;
@@ -94,6 +102,7 @@ class DriftMonitor {
   WindowedQuantileSketch sketch_;
   bool above_ = false;
   std::vector<DriftAlert> alerts_;
+  std::vector<DriftAlert> history_;  // bounded at kAlertHistory, never drained
 };
 
 /// True when the env-driven drift wiring is on: LCE_DRIFT_WINDOW set to a
@@ -113,6 +122,10 @@ DriftMonitor& GlobalDriftMonitor(const std::string& name);
 
 /// Drains alerts from every global monitor, oldest first per monitor.
 std::vector<DriftAlert> DrainAllDriftAlerts();
+
+/// Non-draining alert history of every global monitor, oldest first per
+/// monitor (run manifests, lce_report).
+std::vector<DriftAlert> AllDriftAlertHistory();
 
 /// Drops all global monitors (tests).
 void ResetDriftForTesting();

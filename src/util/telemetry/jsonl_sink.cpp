@@ -1,0 +1,96 @@
+#include "src/util/telemetry/jsonl_sink.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/fs.h"
+#include "src/util/logging.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+constexpr size_t kFlushBytes = 64 * 1024;
+}  // namespace
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void JsonlSink::Append(std::string_view json_line, const std::string& path) {
+  bool want_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
+    buffer_.append(json_line);
+    buffer_.push_back('\n');
+    ++lines_;
+    want_flush = buffer_.size() >= kFlushBytes;
+  }
+  if (want_flush) Flush(path);
+}
+
+Status JsonlSink::Flush(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked(path);
+}
+
+Status JsonlSink::FlushLocked(const std::string& path) {
+  if (failed_) return first_error_;
+  if (buffer_.empty() && file_ != nullptr) {
+    std::fflush(static_cast<std::FILE*>(file_));
+    return Status::OK();
+  }
+  if (file_ == nullptr || open_path_ != path) {
+    if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+    Status dirs = fs::EnsureParentDirs(path);
+    if (!dirs.ok()) {
+      failed_ = true;
+      first_error_ = dirs;
+      LCE_LOG(ERROR) << what_ << " disabled: " << dirs.ToString();
+      return first_error_;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      failed_ = true;
+      first_error_ = Status::Internal("cannot open " + what_ + " " + path +
+                                      ": " + std::strerror(errno));
+      LCE_LOG(ERROR) << first_error_.ToString();
+      return first_error_;
+    }
+    file_ = f;
+    open_path_ = path;
+  }
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  if (written != buffer_.size()) {
+    failed_ = true;
+    first_error_ = Status::Internal("short write to " + what_ + " " + path);
+    LCE_LOG(ERROR) << first_error_.ToString();
+    return first_error_;
+  }
+  buffer_.clear();
+  std::fflush(f);
+  return Status::OK();
+}
+
+uint64_t JsonlSink::lines_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void JsonlSink::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+  file_ = nullptr;
+  open_path_.clear();
+  buffer_.clear();
+  lines_ = 0;
+  failed_ = false;
+  first_error_ = Status::OK();
+}
+
+}  // namespace telemetry
+}  // namespace lce

@@ -1,0 +1,115 @@
+#include "src/util/telemetry/memory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/json_writer.h"
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+
+uint64_t PeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  uint64_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:    123456 kB" — peak resident set size.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;
+#endif
+}
+
+MemoryTracker& MemoryTracker::Global() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+void MemoryTracker::Add(const std::string& name, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, b] : subsystems_) {
+    if (n == name) {
+      b += bytes;
+      return;
+    }
+  }
+  subsystems_.emplace_back(name, bytes);
+}
+
+void MemoryTracker::Set(const std::string& name, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, b] : subsystems_) {
+    if (n == name) {
+      b = bytes;
+      return;
+    }
+  }
+  subsystems_.emplace_back(name, bytes);
+}
+
+int64_t MemoryTracker::Bytes(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, b] : subsystems_) {
+    if (n == name) return b;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, int64_t>> MemoryTracker::Snapshot() const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = subsystems_;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t MemoryTracker::SamplePeakRss() {
+  uint64_t rss = PeakRssBytes();
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().gauge("mem.peak_rss_bytes").Set(
+        static_cast<double>(rss));
+    for (const auto& [name, bytes] : Snapshot()) {
+      MetricsRegistry::Global().gauge("mem." + name + "_bytes").Set(
+          static_cast<double>(bytes));
+    }
+  }
+  return rss;
+}
+
+void MemoryTracker::WriteJson(JsonWriter& w) const {
+  uint64_t rss = PeakRssBytes();
+  w.BeginObject();
+  w.Key("peak_rss_bytes");
+  if (rss == 0) {
+    w.Null();
+  } else {
+    w.Value(rss);
+  }
+  w.Key("subsystems").BeginObject();
+  for (const auto& [name, bytes] : Snapshot()) {
+    w.Key(name).Value(bytes);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void MemoryTracker::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  subsystems_.clear();
+}
+
+}  // namespace telemetry
+}  // namespace lce

@@ -1,0 +1,80 @@
+// Memory accounting: process peak RSS plus per-subsystem byte counters,
+// surfaced in run manifests (the `memory` object) so bench_diff can gate on
+// regressions (e.g. --watch mem.peak_rss_bytes).
+//
+// PeakRssBytes() reads VmHWM from /proc/self/status — the kernel's
+// high-water mark for resident set size. Linux-only; other platforms report
+// 0 and the manifest records null.
+//
+// The MemoryTracker aggregates voluntary accounting from the subsystems that
+// dominate the repo's footprint:
+//   "model" — trained estimator footprints (credited by ModelCardRegistry)
+//   "index" — column indexes (DatabaseIndex::SizeBytes after Prebuild)
+//   "cache" — executor bitmap/LRU caches
+// Counters are plain atomics: always live (a handful of adds per bench, not
+// per query), cheap enough to never need env gating. When LCE_METRICS is on,
+// SamplePeakRss() additionally publishes `mem.peak_rss_bytes` and per-
+// subsystem `mem.<name>_bytes` gauges into the MetricsRegistry so they land
+// in the manifest's metrics snapshot and in bench_diff's flattened view.
+
+#ifndef LCE_UTIL_TELEMETRY_MEMORY_H_
+#define LCE_UTIL_TELEMETRY_MEMORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lce {
+
+class JsonWriter;
+
+namespace telemetry {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 when unavailable (non-Linux, or /proc
+/// unreadable).
+uint64_t PeakRssBytes();
+
+/// Per-subsystem byte accounting. All methods thread-safe.
+class MemoryTracker {
+ public:
+  static MemoryTracker& Global();
+
+  /// Adds `bytes` to subsystem `name` (creating it on first use).
+  void Add(const std::string& name, int64_t bytes);
+
+  /// Replaces subsystem `name`'s total (for idempotent re-measurement, e.g.
+  /// index bytes after a rebuild).
+  void Set(const std::string& name, int64_t bytes);
+
+  /// Current total for `name` (0 if never touched).
+  int64_t Bytes(const std::string& name) const;
+
+  /// All (name, bytes) pairs, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> Snapshot() const;
+
+  /// Re-reads peak RSS and, when LCE_METRICS is on, publishes
+  /// `mem.peak_rss_bytes` plus `mem.<subsystem>_bytes` gauges. Returns the
+  /// peak RSS value read.
+  uint64_t SamplePeakRss();
+
+  /// Appends {"peak_rss_bytes": ..., "subsystems": {...}} as a JSON object
+  /// to an open writer. peak_rss_bytes is null when unavailable.
+  void WriteJson(JsonWriter& w) const;
+
+  /// Zeroes all subsystem counters (tests).
+  void ResetForTesting();
+
+ private:
+  MemoryTracker() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, int64_t>> subsystems_;
+};
+
+}  // namespace telemetry
+}  // namespace lce
+
+#endif  // LCE_UTIL_TELEMETRY_MEMORY_H_

@@ -1,0 +1,85 @@
+#include "src/util/telemetry/model_card.h"
+
+#include "src/util/json_writer.h"
+#include "src/util/telemetry/memory.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+void WriteOptionalInt(JsonWriter& w, const char* key, int64_t v) {
+  w.Key(key);
+  if (v < 0) {
+    w.Null();
+  } else {
+    w.Value(v);
+  }
+}
+
+void WriteOptionalDouble(JsonWriter& w, const char* key, double v) {
+  w.Key(key);
+  if (v < 0.0) {
+    w.Null();
+  } else {
+    w.Value(v);
+  }
+}
+
+}  // namespace
+
+void ModelCard::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("model").Value(model);
+  w.Key("family").Value(family);
+  w.Key("dataset");
+  if (dataset.empty()) {
+    w.Null();
+  } else {
+    w.Value(dataset);
+  }
+  w.Key("parameter_count").Value(parameter_count);
+  w.Key("footprint_bytes").Value(footprint_bytes);
+  WriteOptionalInt(w, "train_examples", train_examples);
+  WriteOptionalInt(w, "epochs", epochs);
+  WriteOptionalDouble(w, "final_train_loss", final_train_loss);
+  WriteOptionalDouble(w, "final_val_loss", final_val_loss);
+  WriteOptionalDouble(w, "build_seconds", build_seconds);
+  if (!extra.empty()) {
+    w.Key("extra").BeginObject();
+    for (const auto& [k, v] : extra) w.Key(k).Value(v);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+ModelCardRegistry& ModelCardRegistry::Global() {
+  static ModelCardRegistry* registry = new ModelCardRegistry();
+  return *registry;
+}
+
+void ModelCardRegistry::Add(ModelCard card) {
+  if (card.footprint_bytes > 0) {
+    MemoryTracker::Global().Add("model", card.footprint_bytes);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cards_.push_back(std::move(card));
+}
+
+std::vector<ModelCard> ModelCardRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cards_;
+}
+
+size_t ModelCardRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cards_.size();
+}
+
+void ModelCardRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cards_.clear();
+}
+
+}  // namespace telemetry
+}  // namespace lce

@@ -1,0 +1,76 @@
+// Model cards: one structured record per trained estimator, surfaced in run
+// manifests (the `model_cards` array) and aggregated by tools/lce_report.
+//
+// A ModelCard answers "what did this training run produce and what did it
+// cost": parameter count, memory footprint (from Estimator::FootprintBytes),
+// training-set size, epochs to converge, final train/validation loss, and
+// build wall time. Estimators fill in what they know via
+// Estimator::DescribeModel; the bench harness adds the dataset name, build
+// seconds, and accuracy extras before registering the card.
+//
+// The registry is process-global and append-only; BenchRun snapshots it into
+// the manifest at scope exit. Registration also credits the card's footprint
+// to the "model" subsystem of the MemoryTracker (see memory.h).
+
+#ifndef LCE_UTIL_TELEMETRY_MODEL_CARD_H_
+#define LCE_UTIL_TELEMETRY_MODEL_CARD_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lce {
+
+class JsonWriter;
+
+namespace telemetry {
+
+struct ModelCard {
+  std::string model;    // estimator name as benched ("MSCN", "SPN", ...)
+  std::string family;   // "nn" | "gbdt" | "spn" | "bayesnet" | "naru" | ...
+  std::string dataset;  // bench dataset / workload label ("" if unknown)
+  int64_t parameter_count = 0;   // learned scalars (0 for non-parametric)
+  int64_t footprint_bytes = 0;   // serialized model size estimate
+  int64_t train_examples = -1;   // rows or queries trained on (-1 unknown)
+  int64_t epochs = -1;           // epochs/rounds run (-1 if not iterative)
+  double final_train_loss = -1.0;  // last epoch's training loss (-1 unknown)
+  double final_val_loss = -1.0;    // validation loss if tracked (-1 unknown)
+  double build_seconds = -1.0;     // wall time of Build() (-1 unknown)
+  /// Free-form numeric annotations ("qerr_p50", "tables", ...).
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// Appends this card as a JSON object to an open writer (caller manages
+  /// surrounding array/object structure). -1 sentinels serialize as null.
+  void WriteJson(JsonWriter& w) const;
+};
+
+/// Process-global, append-only collection of cards from this run.
+class ModelCardRegistry {
+ public:
+  static ModelCardRegistry& Global();
+
+  /// Records a card and credits `footprint_bytes` to the "model" subsystem
+  /// of the global MemoryTracker. Thread-safe.
+  void Add(ModelCard card);
+
+  /// Copy of all cards registered so far, in registration order.
+  std::vector<ModelCard> Snapshot() const;
+
+  size_t size() const;
+
+  /// Drops all cards (tests). Does not touch the MemoryTracker.
+  void ResetForTesting();
+
+ private:
+  ModelCardRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<ModelCard> cards_;
+};
+
+}  // namespace telemetry
+}  // namespace lce
+
+#endif  // LCE_UTIL_TELEMETRY_MODEL_CARD_H_

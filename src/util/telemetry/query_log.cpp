@@ -1,20 +1,13 @@
 #include "src/util/telemetry/query_log.h"
 
 #include <atomic>
-#include <cerrno>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
-
-#include "src/util/fs.h"
-#include "src/util/logging.h"
+#include <mutex>
 
 namespace lce {
 namespace telemetry {
 
 namespace {
-
-constexpr size_t kFlushBytes = 64 * 1024;
 
 std::string EnvQueryLogPath() {
   static std::string v = [] {
@@ -79,76 +72,17 @@ QueryLog& QueryLog::Global() {
 
 void QueryLog::Append(std::string_view json_line) {
   if (!QueryLogEnabled()) return;
-  bool want_flush = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (failed_) return;
-    buffer_.append(json_line);
-    buffer_.push_back('\n');
-    ++lines_;
-    want_flush = buffer_.size() >= kFlushBytes;
-  }
-  if (want_flush) Flush();
+  sink_.Append(json_line, QueryLogPath());
 }
 
 Status QueryLog::Flush() {
   if (!QueryLogEnabled()) return Status::OK();
-  std::string path = QueryLogPath();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (failed_) return first_error_;
-  if (buffer_.empty() && file_ != nullptr) {
-    std::fflush(static_cast<std::FILE*>(file_));
-    return Status::OK();
-  }
-  if (file_ == nullptr || open_path_ != path) {
-    if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
-    file_ = nullptr;
-    Status dirs = fs::EnsureParentDirs(path);
-    if (!dirs.ok()) {
-      failed_ = true;
-      first_error_ = dirs;
-      LCE_LOG(ERROR) << "query log disabled: " << dirs.ToString();
-      return first_error_;
-    }
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      failed_ = true;
-      first_error_ = Status::Internal("cannot open query log " + path + ": " +
-                                      std::strerror(errno));
-      LCE_LOG(ERROR) << first_error_.ToString();
-      return first_error_;
-    }
-    file_ = f;
-    open_path_ = path;
-  }
-  std::FILE* f = static_cast<std::FILE*>(file_);
-  size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
-  if (written != buffer_.size()) {
-    failed_ = true;
-    first_error_ = Status::Internal("short write to query log " + path);
-    LCE_LOG(ERROR) << first_error_.ToString();
-    return first_error_;
-  }
-  buffer_.clear();
-  std::fflush(f);
-  return Status::OK();
+  return sink_.Flush(QueryLogPath());
 }
 
-uint64_t QueryLog::lines_appended() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lines_;
-}
+uint64_t QueryLog::lines_appended() const { return sink_.lines_appended(); }
 
-void QueryLog::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
-  file_ = nullptr;
-  open_path_.clear();
-  buffer_.clear();
-  lines_ = 0;
-  failed_ = false;
-  first_error_ = Status::OK();
-}
+void QueryLog::ResetForTesting() { sink_.ResetForTesting(); }
 
 }  // namespace telemetry
 }  // namespace lce

@@ -15,11 +15,11 @@
 #define LCE_UTIL_TELEMETRY_QUERY_LOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "src/util/status.h"
+#include "src/util/telemetry/jsonl_sink.h"
 
 namespace lce {
 namespace telemetry {
@@ -57,15 +57,9 @@ class QueryLog {
   void ResetForTesting();
 
  private:
-  QueryLog() = default;
+  QueryLog() : sink_("query log") {}
 
-  mutable std::mutex mu_;
-  std::string buffer_;
-  uint64_t lines_ = 0;
-  std::string open_path_;   // path the current file handle points at
-  void* file_ = nullptr;    // std::FILE*, opaque to keep <cstdio> out
-  bool failed_ = false;     // a write failed; stop trying, keep the Status
-  Status first_error_;
+  JsonlSink sink_;
 };
 
 }  // namespace telemetry

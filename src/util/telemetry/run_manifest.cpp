@@ -13,9 +13,13 @@
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/drift.h"
+#include "src/util/telemetry/memory.h"
+#include "src/util/telemetry/model_card.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
+#include "src/util/telemetry/train_log.h"
 
 #ifndef LCE_GIT_COMMIT
 #define LCE_GIT_COMMIT "unknown"
@@ -104,6 +108,9 @@ const char* BuildGitCommit() { return LCE_GIT_COMMIT; }
 
 std::string RunManifestJson(const std::string& bench_name,
                             double wall_seconds) {
+  // Refresh mem.* gauges (when LCE_METRICS is on) so the metrics snapshot
+  // below carries the peak RSS bench_diff watches.
+  MemoryTracker::Global().SamplePeakRss();
   std::string out;
   JsonWriter w(&out);
   w.BeginObject();
@@ -123,9 +130,11 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_TRACE");
   WriteEnvEntry(&w, "LCE_LOG_LEVEL");
   WriteEnvEntry(&w, "LCE_QUERY_LOG");
+  WriteEnvEntry(&w, "LCE_TRAIN_LOG");
   WriteEnvEntry(&w, "LCE_DRIFT_WINDOW");
   WriteEnvEntry(&w, "LCE_DRIFT_THRESHOLD");
   WriteEnvEntry(&w, "LCE_BENCH_OUT_DIR");
+  WriteEnvEntry(&w, "LCE_BENCH_LATENCY_SAMPLES");
   WriteEnvEntry(&w, "LCE_ORACLE_INDEX");
   WriteEnvEntry(&w, "LCE_BITMAP_CACHE_SIZE");
   w.EndObject();
@@ -149,6 +158,43 @@ std::string RunManifestJson(const std::string& bench_name,
   } else {
     w.Null();
   }
+  w.Key("train_log");
+  if (TrainLogEnabled()) {
+    w.Value(TrainLogPath());
+  } else {
+    w.Null();
+  }
+  // Mirrors eval::LatencySampleCap()'s env parse (telemetry cannot depend on
+  // eval): LCE_BENCH_LATENCY_SAMPLES when a positive integer, else 200.
+  {
+    uint64_t cap = 200;
+    const char* v = std::getenv("LCE_BENCH_LATENCY_SAMPLES");
+    if (v != nullptr && *v != '\0') {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end != nullptr && *end == '\0' && n > 0) {
+        cap = static_cast<uint64_t>(n);
+      }
+    }
+    w.Key("latency_sample_cap").Value(cap);
+  }
+  w.Key("model_cards").BeginArray();
+  for (const ModelCard& card : ModelCardRegistry::Global().Snapshot()) {
+    card.WriteJson(w);
+  }
+  w.EndArray();
+  w.Key("memory");
+  MemoryTracker::Global().WriteJson(w);
+  w.Key("drift_alerts").BeginArray();
+  for (const DriftAlert& a : AllDriftAlertHistory()) {
+    w.BeginObject()
+        .Key("monitor").Value(a.monitor)
+        .Key("observation").Value(a.observation)
+        .Key("p95").Value(a.p95)
+        .Key("threshold").Value(a.threshold)
+        .EndObject();
+  }
+  w.EndArray();
   w.Key("phases");
   WritePhaseBreakdown(&w);
   w.Key("metrics");

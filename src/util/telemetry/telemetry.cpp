@@ -243,6 +243,10 @@ const std::string& PhaseScope::Current() { return tls_phase_scope; }
 
 ScopedPhase::ScopedPhase(const char* name)
     : name_(name), metrics_on_(MetricsEnabled()), trace_on_(TraceEnabled()) {
+  if (trace_on_) {
+    parent_span_id_ = CurrentSpanId();
+    span_id_ = internal::BeginSpan();
+  }
   if (metrics_on_ || trace_on_) start_ns_ = MonotonicNanos();
 }
 
@@ -259,7 +263,9 @@ ScopedPhase::~ScopedPhase() {
     reg.counter("phase." + key + ".calls").AddAlways(1);
   }
   if (trace_on_) {
-    internal::AppendCompleteEvent(std::move(key), start_ns_, end_ns, {});
+    internal::RestoreCurrentSpan(parent_span_id_);
+    internal::AppendCompleteEvent(std::move(key), start_ns_, end_ns, span_id_,
+                                  parent_span_id_, {});
   }
 }
 

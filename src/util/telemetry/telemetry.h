@@ -201,6 +201,8 @@ class ScopedPhase {
   int64_t start_ns_ = 0;
   bool metrics_on_;
   bool trace_on_;
+  uint64_t span_id_ = 0;         // trace span id while tracing is on
+  uint64_t parent_span_id_ = 0;  // enclosing span at construction
 };
 
 }  // namespace telemetry

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 
@@ -57,6 +58,11 @@ std::string EnvTracePath() {
   return v;
 }
 
+// Span-id plumbing: ids are process-unique; each thread tracks the innermost
+// live span so nested (and pool-adopted) spans can record their parent.
+std::atomic<uint64_t> g_next_span_id{1};
+thread_local uint64_t tls_current_span_id = 0;
+
 std::mutex g_path_mu;
 bool g_path_overridden = false;
 std::string g_path_override;
@@ -103,6 +109,15 @@ std::string TracePath() {
   return g_path_overridden ? g_path_override : EnvTracePath();
 }
 
+uint64_t CurrentSpanId() { return tls_current_span_id; }
+
+ScopedTraceParent::ScopedTraceParent(uint64_t parent_id)
+    : saved_(tls_current_span_id) {
+  tls_current_span_id = parent_id;
+}
+
+ScopedTraceParent::~ScopedTraceParent() { tls_current_span_id = saved_; }
+
 void SetCurrentThreadName(std::string name) {
   ThreadTraceBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
@@ -112,6 +127,7 @@ void SetCurrentThreadName(std::string name) {
 namespace internal {
 
 void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
+                         uint64_t id, uint64_t parent_id,
                          std::vector<std::pair<std::string, double>> args) {
   ThreadTraceBuffer& buffer = LocalBuffer();
   TraceEvent event;
@@ -119,9 +135,21 @@ void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
   event.start_ns = start_ns;
   event.dur_ns = end_ns - start_ns;
   event.tid = buffer.tid;
+  event.id = id;
+  event.parent_id = parent_id;
   event.args = std::move(args);
   std::lock_guard<std::mutex> lock(buffer.mu);
   buffer.events.push_back(std::move(event));
+}
+
+uint64_t BeginSpan() {
+  uint64_t id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  tls_current_span_id = id;
+  return id;
+}
+
+void RestoreCurrentSpan(uint64_t parent_id) {
+  tls_current_span_id = parent_id;
 }
 
 }  // namespace internal
@@ -129,19 +157,24 @@ void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
 TraceSpan::TraceSpan(const char* name) : active_(TraceEnabled()) {
   if (!active_) return;
   name_ = name;
+  parent_id_ = CurrentSpanId();
+  id_ = internal::BeginSpan();
   start_ns_ = MonotonicNanos();
 }
 
 TraceSpan::TraceSpan(std::string name) : active_(TraceEnabled()) {
   if (!active_) return;
   name_ = std::move(name);
+  parent_id_ = CurrentSpanId();
+  id_ = internal::BeginSpan();
   start_ns_ = MonotonicNanos();
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  internal::RestoreCurrentSpan(parent_id_);
   internal::AppendCompleteEvent(std::move(name_), start_ns_, MonotonicNanos(),
-                                std::move(args_));
+                                id_, parent_id_, std::move(args_));
 }
 
 void TraceSpan::AddArg(const char* key, double value) {
@@ -215,6 +248,11 @@ Status WriteTraceNow() {
           .EndObject();
     }
   }
+  // Parent lookup for cross-thread flow arrows: span id -> (tid, start_ns).
+  std::map<uint64_t, std::pair<uint32_t, int64_t>> span_index;
+  for (const auto& [e, thread_name] : events) {
+    if (e.id != 0) span_index.emplace(e.id, std::make_pair(e.tid, e.start_ns));
+  }
   for (const auto& [e, thread_name] : events) {
     w.BeginObject()
         .Key("ph").Value("X")
@@ -224,12 +262,42 @@ Status WriteTraceNow() {
         .Key("tid").Value(uint64_t{e.tid})
         .Key("ts").Value(static_cast<double>(e.start_ns) / 1000.0)
         .Key("dur").Value(static_cast<double>(e.dur_ns) / 1000.0);
-    if (!e.args.empty()) {
+    if (!e.args.empty() || e.id != 0) {
       w.Key("args").BeginObject();
+      if (e.id != 0) {
+        w.Key("span_id").Value(e.id);
+        w.Key("parent_span_id").Value(e.parent_id);
+      }
       for (const auto& [k, v] : e.args) w.Key(k).Value(v);
       w.EndObject();
     }
     w.EndObject();
+    // Spans whose parent lives on another thread get a flow arrow from the
+    // parent span's start to this span's start (chrome://tracing draws the
+    // submit edge). Same-thread nesting is already visible from the stack.
+    auto parent = span_index.find(e.parent_id);
+    if (e.parent_id != 0 && parent != span_index.end() &&
+        parent->second.first != e.tid) {
+      w.BeginObject()
+          .Key("ph").Value("s")
+          .Key("id").Value(e.id)
+          .Key("name").Value("submit")
+          .Key("cat").Value("lce")
+          .Key("pid").Value(1)
+          .Key("tid").Value(uint64_t{parent->second.first})
+          .Key("ts").Value(static_cast<double>(parent->second.second) / 1000.0)
+          .EndObject();
+      w.BeginObject()
+          .Key("ph").Value("f")
+          .Key("bp").Value("e")
+          .Key("id").Value(e.id)
+          .Key("name").Value("submit")
+          .Key("cat").Value("lce")
+          .Key("pid").Value(1)
+          .Key("tid").Value(uint64_t{e.tid})
+          .Key("ts").Value(static_cast<double>(e.start_ns) / 1000.0)
+          .EndObject();
+    }
   }
   w.EndArray();
   w.EndObject();

@@ -8,6 +8,15 @@
 // automatically at process exit — merges the buffers and writes a JSON file
 // loadable by chrome://tracing or https://ui.perfetto.dev.
 //
+// Spans carry ids: each live TraceSpan pushes its id as the thread's
+// "current span", so nested spans record their parent and the hierarchy
+// survives into the export (span_id/parent_span_id args; cross-thread edges
+// additionally get Chrome flow events so pool work draws arrows back to the
+// submitting span). ThreadPool::Submit captures CurrentSpanId() at submit
+// time and re-establishes it inside the worker via ScopedTraceParent, so
+// parallel lanes nest under the span that spawned them instead of floating
+// as orphans.
+//
 // With LCE_TRACE unset, constructing a TraceSpan is a relaxed atomic load
 // plus a branch; nothing is recorded and no clock is read.
 
@@ -43,7 +52,28 @@ struct TraceEvent {
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
   uint32_t tid = 0;
+  uint64_t id = 0;         // unique per span, process-wide
+  uint64_t parent_id = 0;  // enclosing span at construction (0 = root)
   std::vector<std::pair<std::string, double>> args;
+};
+
+/// Id of the innermost live span on this thread (0 when none, or when
+/// tracing is off). Capture at task-submit time and adopt in the worker via
+/// ScopedTraceParent to parent cross-thread work.
+uint64_t CurrentSpanId();
+
+/// RAII: makes `parent_id` the calling thread's current span for the scope,
+/// so spans constructed inside attribute it as their parent. Restores the
+/// previous value on destruction.
+class ScopedTraceParent {
+ public:
+  explicit ScopedTraceParent(uint64_t parent_id);
+  ~ScopedTraceParent();
+  ScopedTraceParent(const ScopedTraceParent&) = delete;
+  ScopedTraceParent& operator=(const ScopedTraceParent&) = delete;
+
+ private:
+  uint64_t saved_;
 };
 
 /// RAII span: records [construction, destruction) on the calling thread.
@@ -64,6 +94,8 @@ class TraceSpan {
   std::string name_;
   int64_t start_ns_ = 0;
   bool active_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
   std::vector<std::pair<std::string, double>> args_;
 };
 
@@ -85,7 +117,16 @@ void ClearTraceForTesting();
 namespace internal {
 /// Appends a finished span; used by TraceSpan and telemetry::ScopedPhase.
 void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
+                         uint64_t id, uint64_t parent_id,
                          std::vector<std::pair<std::string, double>> args);
+
+/// Allocates a fresh span id and installs it as the thread's current span.
+/// Returns the new id; the previous current span (the parent) is read with
+/// CurrentSpanId() *before* calling. Pair with RestoreCurrentSpan.
+uint64_t BeginSpan();
+
+/// Restores `parent_id` as the thread's current span (span destruction).
+void RestoreCurrentSpan(uint64_t parent_id);
 }  // namespace internal
 
 }  // namespace telemetry

@@ -1,0 +1,148 @@
+#include "src/util/telemetry/train_log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/util/json_writer.h"
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+std::string EnvTrainLogPath() {
+  static std::string v = [] {
+    const char* e = std::getenv("LCE_TRAIN_LOG");
+    return std::string(e != nullptr ? e : "");
+  }();
+  return v;
+}
+
+std::mutex g_path_mu;
+bool g_path_overridden = false;
+std::string g_path_override;
+// Fast-path flag mirroring "path is non-empty".
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_enabled_initialized{false};
+
+void InitEnabledFlag() {
+  if (g_enabled_initialized.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (g_enabled_initialized.load(std::memory_order_relaxed)) return;
+  bool on = !EnvTrainLogPath().empty();
+  g_enabled.store(on, std::memory_order_relaxed);
+  g_enabled_initialized.store(true, std::memory_order_release);
+  if (on) {
+    // Tools and examples that never construct a BenchRun still get the tail.
+    std::atexit([] { TrainLog::Global().Flush(); });
+  }
+}
+
+void WriteOptionalDouble(JsonWriter& w, const char* key, double v) {
+  w.Key(key);
+  if (v == TrainingEvent::kUnset) {
+    w.Null();
+  } else {
+    w.Value(v);
+  }
+}
+
+}  // namespace
+
+bool TrainLogEnabled() {
+  InitEnabledFlag();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::string TrainLogPath() {
+  InitEnabledFlag();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  return g_path_overridden ? g_path_override : EnvTrainLogPath();
+}
+
+void SetTrainLogPathForTesting(const char* path) {
+  InitEnabledFlag();
+  TrainLog::Global().Flush();
+  TrainLog::Global().ResetForTesting();
+  std::lock_guard<std::mutex> lock(g_path_mu);
+  if (path == nullptr) {
+    g_path_overridden = false;
+    g_enabled.store(!EnvTrainLogPath().empty(), std::memory_order_relaxed);
+  } else {
+    g_path_overridden = true;
+    g_path_override = path;
+    g_enabled.store(!g_path_override.empty(), std::memory_order_relaxed);
+  }
+}
+
+std::string TrainingEvent::ToJsonLine() const {
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  w.BeginObject();
+  w.Key("model").Value(model);
+  w.Key("family").Value(family);
+  w.Key("event").Value(event);
+  w.Key("index").Value(index);
+  WriteOptionalDouble(w, "loss", loss);
+  WriteOptionalDouble(w, "grad_norm", grad_norm);
+  WriteOptionalDouble(w, "lr", learning_rate);
+  w.Key("examples");
+  if (examples < 0) {
+    w.Null();
+  } else {
+    w.Value(examples);
+  }
+  WriteOptionalDouble(w, "wall_s", wall_seconds);
+  w.Key("rows_per_sec");
+  if (examples >= 0 && wall_seconds > 0.0) {
+    w.Value(static_cast<double>(examples) / wall_seconds);
+  } else {
+    w.Null();
+  }
+  w.Key("phase");
+  if (phase.empty()) {
+    w.Null();
+  } else {
+    w.Value(phase);
+  }
+  if (!extra.empty()) {
+    w.Key("extra").BeginObject();
+    for (const auto& [k, v] : extra) w.Key(k).Value(v);
+    w.EndObject();
+  }
+  w.EndObject();
+  return out;
+}
+
+TrainLog& TrainLog::Global() {
+  static TrainLog* log = new TrainLog();
+  return *log;
+}
+
+void TrainLog::Record(const TrainingEvent& event) {
+  if (!TrainLogEnabled()) return;
+  sink_.Append(event.ToJsonLine(), TrainLogPath());
+}
+
+Status TrainLog::Flush() {
+  if (!TrainLogEnabled()) return Status::OK();
+  return sink_.Flush(TrainLogPath());
+}
+
+uint64_t TrainLog::events_recorded() const { return sink_.lines_appended(); }
+
+void TrainLog::ResetForTesting() { sink_.ResetForTesting(); }
+
+void RecordTrainingEvent(TrainingEvent event) {
+  if (!TrainLogEnabled()) return;
+  if (event.model.empty()) {
+    std::string scope = PhaseScope::Current();
+    event.model = scope.empty() ? event.family : scope;
+  }
+  TrainLog::Global().Record(event);
+}
+
+}  // namespace telemetry
+}  // namespace lce

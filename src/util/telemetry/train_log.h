@@ -1,0 +1,105 @@
+// Env-gated JSONL training log (LCE_TRAIN_LOG=<path>) — the training-side
+// counterpart of the query log.
+//
+// Every trainable estimator emits one TrainingEvent per unit of training
+// progress: per epoch for the neural models (neural_base, Naru conditionals),
+// per boosting round for GBDT/LW-XGB, and per structure-learning phase for
+// SPN and BayesNet. Each event carries the loss, gradient norm, learning
+// rate, example count, wall time, and derived rows/sec, so a training run
+// can be replayed as a convergence curve straight from the log.
+//
+// Schema (one JSON object per line; see DESIGN.md §9):
+//   {"model": "FCN", "family": "nn", "event": "epoch", "index": 3,
+//    "loss": 0.41, "grad_norm": 0.021, "lr": 0.001, "examples": 1500,
+//    "wall_s": 0.012, "rows_per_sec": 125000.0, "phase": null,
+//    "extra": {"column": 2}}
+// Unknown quantities (e.g. grad_norm for tree models) serialize as null.
+//
+// With LCE_TRAIN_LOG unset, TrainLogEnabled() is a relaxed load plus a
+// branch; call sites skip loss/grad-norm side computations and clock reads
+// entirely, so model outputs are bit-identical to a run without the log
+// (tested, following the LCE_METRICS gating precedent).
+
+#ifndef LCE_UTIL_TELEMETRY_TRAIN_LOG_H_
+#define LCE_UTIL_TELEMETRY_TRAIN_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/telemetry/jsonl_sink.h"
+
+namespace lce {
+namespace telemetry {
+
+/// True when the training log is on (LCE_TRAIN_LOG set, or a test override).
+bool TrainLogEnabled();
+
+/// The current training-log path ("" when disabled).
+std::string TrainLogPath();
+
+/// Overrides the destination (tests). Empty string disables; nullptr
+/// restores the LCE_TRAIN_LOG-derived value. Flushes and closes any open
+/// sink first so tests see complete files.
+void SetTrainLogPathForTesting(const char* path);
+
+/// One unit of training progress. Quantities a family cannot provide stay at
+/// their defaults and serialize as null.
+struct TrainingEvent {
+  /// Sentinel for "not measured" double fields (serializes as null).
+  static constexpr double kUnset = -1.0;
+
+  std::string model;    // estimator name; defaults to PhaseScope::Current()
+  std::string family;   // "nn" | "gbdt" | "spn" | "bayesnet" | "naru" | ...
+  std::string event;    // "epoch" | "round" | "phase"
+  std::string phase;    // structure-phase name ("" for epoch/round events)
+  int64_t index = 0;    // epoch / round / phase ordinal (0-based)
+  double loss = kUnset;           // mean training loss of this unit
+  double grad_norm = kUnset;      // L2 norm of the last parameter gradient
+  double learning_rate = kUnset;  // optimizer step size in effect
+  int64_t examples = -1;          // rows/queries processed in this unit
+  double wall_seconds = kUnset;   // wall time of this unit
+  /// Free-form numeric annotations ("column", "trees", "nodes", ...).
+  std::vector<std::pair<std::string, double>> extra;
+
+  /// One compact JSON object (no trailing newline). rows_per_sec is derived
+  /// from examples / wall_seconds when both are present.
+  std::string ToJsonLine() const;
+};
+
+/// The process-wide buffered JSONL appender for training events.
+class TrainLog {
+ public:
+  static TrainLog& Global();
+
+  /// Serializes and buffers one event. No-op when the sink is disabled; the
+  /// caller should still gate expensive field computation (losses, clock
+  /// reads) on TrainLogEnabled(). Thread-safe.
+  void Record(const TrainingEvent& event);
+
+  /// Writes everything buffered so far to TrainLogPath().
+  Status Flush();
+
+  /// Events recorded since process start (or the last reset). Test hook.
+  uint64_t events_recorded() const;
+
+  /// Drops buffered data, closes the file, and zeroes counters (tests).
+  void ResetForTesting();
+
+ private:
+  TrainLog() : sink_("training log") {}
+
+  JsonlSink sink_;
+};
+
+/// Convenience: TrainLog::Global().Record(event), with `event.model`
+/// defaulted to the current PhaseScope label when empty.
+void RecordTrainingEvent(TrainingEvent event);
+
+}  // namespace telemetry
+}  // namespace lce
+
+#endif  // LCE_UTIL_TELEMETRY_TRAIN_LOG_H_

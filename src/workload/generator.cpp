@@ -5,6 +5,7 @@
 #include "src/storage/column_index.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/memory.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -34,6 +35,11 @@ WorkloadGenerator::WorkloadGenerator(const storage::Database* db,
   // them across the pool now instead of serializing lazy first-touch builds
   // behind the index mutex inside the labeling loop.
   db_->index().Prebuild(/*include_edges=*/exec::OracleIndexEnabled());
+  // Prebuild just materialized the sorted columns (and join edges); record
+  // their footprint for the manifest's memory object. Set, not Add: repeated
+  // generators over one database re-measure the same shared structures.
+  telemetry::MemoryTracker::Global().Set(
+      "index", static_cast<int64_t>(db_->index().SizeBytes()));
   LCE_CHECK(options_.max_joins >= 0);
   LCE_CHECK(options_.min_predicates >= 0);
   LCE_CHECK(options_.max_predicates >= options_.min_predicates);

@@ -139,6 +139,10 @@ TEST(BenchDiffTest, DiffFilesReportsIoAndParseErrors) {
   ASSERT_TRUE(fs::WriteStringToFile(bad, "{not json").ok());
   Result<DiffReport> parse_error = DiffFiles(good, bad, options);
   EXPECT_FALSE(parse_error.ok());
+  // The error names the offending file and the byte offset of the problem.
+  std::string message = parse_error.status().ToString();
+  EXPECT_NE(message.find(bad), std::string::npos) << message;
+  EXPECT_NE(message.find("at offset"), std::string::npos) << message;
 
   Result<DiffReport> ok = DiffFiles(good, good, options);
   ASSERT_TRUE(ok.ok());

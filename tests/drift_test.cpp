@@ -61,6 +61,58 @@ TEST(WindowedQuantileSketchTest, RollsOverToTrailingWindow) {
   }
 }
 
+TEST(WindowedQuantileSketchTest, WindowOneTracksLastObservation) {
+  WindowedQuantileSketch sketch(1);
+  EXPECT_EQ(sketch.window(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);  // empty
+  sketch.Observe(3.0);
+  EXPECT_TRUE(sketch.full());
+  for (double v : {7.0, 2.0, 9.5}) {
+    sketch.Observe(v);
+    EXPECT_EQ(sketch.size(), 1u);
+    // A one-element window: every quantile is the latest observation.
+    EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), v);
+    EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), v);
+    EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), v);
+  }
+  EXPECT_EQ(sketch.count(), 4u);
+}
+
+TEST(WindowedQuantileSketchTest, ConstantStreamIsFlatAtEveryQuantile) {
+  WindowedQuantileSketch sketch(16);
+  for (int i = 0; i < 40; ++i) sketch.Observe(4.25);
+  for (double q : {0.0, 0.01, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.Quantile(q), 4.25) << q;
+  }
+}
+
+TEST(WindowedQuantileSketchTest, ExtremeQuantilesClampToWindowMinMax) {
+  WindowedQuantileSketch sketch(8);
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) sketch.Observe(v);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 9.0);
+  // Out-of-range q clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(sketch.Quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.5), 9.0);
+}
+
+TEST(DriftMonitorTest, AlertHistorySurvivesDraining) {
+  DriftMonitor::Options opts;
+  opts.window = 4;
+  opts.threshold_p95 = 10.0;
+  DriftMonitor monitor("history-test", opts);
+  for (double v : {1.0, 1.0, 1.0, 1.0}) monitor.Observe(v);
+  for (double v : {50.0, 50.0}) monitor.Observe(v);
+  ASSERT_EQ(monitor.DrainAlerts().size(), 1u);
+  EXPECT_TRUE(monitor.DrainAlerts().empty());  // queue consumed
+  // The non-draining history still reports the crossing for manifests.
+  std::vector<DriftAlert> history = monitor.AlertHistory();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].monitor, "history-test");
+  EXPECT_GT(history[0].p95, 10.0);
+  ASSERT_EQ(monitor.AlertHistory().size(), 1u);  // reads don't consume
+}
+
 TEST(DriftMonitorTest, EdgeTriggeredAlertsWithDetectionLag) {
   DriftMonitor::Options opts;
   opts.window = 4;

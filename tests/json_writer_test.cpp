@@ -83,5 +83,38 @@ TEST(JsonParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(json::Parse("{} trailing", &v));
 }
 
+TEST(JsonParseTest, MalformedInputReportsByteOffset) {
+  json::JsonValue v;
+  std::string error;
+  ASSERT_FALSE(json::Parse("{\"a\": nul}", &v, &error));
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+  ASSERT_FALSE(json::Parse("", &v, &error));
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+  ASSERT_FALSE(json::Parse("[1, 2,, 3]", &v, &error));
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+  ASSERT_FALSE(json::Parse("\"unterminated", &v, &error));
+  EXPECT_NE(error.find("at offset"), std::string::npos) << error;
+}
+
+TEST(JsonParseTest, DeepNestingParsesUpToTheCap) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += ']';
+  json::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json::Parse(deep, &v, &error)) << error;
+}
+
+TEST(JsonParseTest, NestingBeyondTheCapFailsGracefully) {
+  // 5000 unclosed brackets would overflow the recursion stack without the
+  // depth cap; with it this is an ordinary parse error.
+  std::string hostile(5000, '[');
+  json::JsonValue v;
+  std::string error;
+  ASSERT_FALSE(json::Parse(hostile, &v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace lce

@@ -1,0 +1,96 @@
+// Memory accounting: peak RSS sampling and the per-subsystem byte tracker
+// surfaced in run manifests.
+
+#include "src/util/telemetry/memory.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json_writer.h"
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryTracker::Global().ResetForTesting();
+    SetMetricsEnabledForTesting(1);
+    MetricsRegistry::Global().ResetForTesting();
+  }
+  void TearDown() override {
+    MemoryTracker::Global().ResetForTesting();
+    SetMetricsEnabledForTesting(-1);
+    MetricsRegistry::Global().ResetForTesting();
+  }
+};
+
+TEST_F(MemoryTest, PeakRssIsPositiveOnLinux) {
+#if defined(__linux__)
+  // The test binary has certainly touched a few MiB by now.
+  EXPECT_GT(PeakRssBytes(), 1024u * 1024u);
+#else
+  EXPECT_EQ(PeakRssBytes(), 0u);
+#endif
+}
+
+TEST_F(MemoryTest, AddSetAndSnapshot) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Add("model", 100);
+  t.Add("model", 50);
+  t.Set("index", 4096);
+  t.Add("cache", 32);
+  t.Add("cache", -32);
+  EXPECT_EQ(t.Bytes("model"), 150);
+  EXPECT_EQ(t.Bytes("index"), 4096);
+  EXPECT_EQ(t.Bytes("cache"), 0);
+  EXPECT_EQ(t.Bytes("never_touched"), 0);
+  t.Set("index", 8192);  // idempotent re-measurement replaces
+  EXPECT_EQ(t.Bytes("index"), 8192);
+  auto snapshot = t.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);  // sorted by name
+  EXPECT_EQ(snapshot[0].first, "cache");
+  EXPECT_EQ(snapshot[1].first, "index");
+  EXPECT_EQ(snapshot[2].first, "model");
+}
+
+TEST_F(MemoryTest, SamplePublishesGauges) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Set("model", 12345);
+  uint64_t peak = t.SamplePeakRss();
+#if defined(__linux__)
+  EXPECT_GT(peak, 0u);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().gauge("mem.peak_rss_bytes").Value(),
+      static_cast<double>(peak));
+#endif
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Global().gauge("mem.model_bytes").Value(),
+                   12345.0);
+}
+
+TEST_F(MemoryTest, WriteJsonParses) {
+  MemoryTracker& t = MemoryTracker::Global();
+  t.Set("model", 100);
+  t.Set("cache", 200);
+  std::string out;
+  JsonWriter w(&out, JsonWriter::Style::kCompact);
+  t.WriteJson(w);
+  json::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json::Parse(out, &v, &error)) << error;
+  const json::JsonValue* subs = v.Find("subsystems");
+  ASSERT_NE(subs, nullptr);
+  EXPECT_DOUBLE_EQ(subs->Find("model")->number, 100.0);
+  EXPECT_DOUBLE_EQ(subs->Find("cache")->number, 200.0);
+  ASSERT_NE(v.Find("peak_rss_bytes"), nullptr);
+#if defined(__linux__)
+  EXPECT_GT(v.Find("peak_rss_bytes")->number, 0.0);
+#endif
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace lce

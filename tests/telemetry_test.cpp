@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -254,6 +255,94 @@ TEST_F(TelemetryTest, RunManifestParsesAndListsPhases) {
 // The acceptance bar for the whole subsystem: enabling metrics + tracing must
 // not move a single bit of estimator output. LW-XGB exercises the GBDT path
 // (split search, binning), FCN the NN path (per-epoch telemetry).
+TEST_F(TelemetryTest, PoolTasksNestUnderSubmittingSpan) {
+  // Cross-thread propagation: ThreadPool::Submit captures the submitter's
+  // current span id, and spans opened inside pool tasks parent under it —
+  // so a 4-thread training trace nests lane work under the build span.
+  SetTracePathForTesting("unused_pool_parent_path.json");
+  parallel::SetThreadCountForTesting(4);
+  uint64_t submit_span_id = 0;
+  {
+    TraceSpan submit("submit_parent");
+    submit_span_id = CurrentSpanId();
+    parallel::ParallelFor(0, 16, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        TraceSpan span("pool_task");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  EXPECT_NE(submit_span_id, 0u);
+
+  std::vector<TraceEvent> events = SnapshotTraceEventsForTesting();
+  std::map<uint64_t, const TraceEvent*> by_id;
+  for (const TraceEvent& e : events) by_id[e.id] = &e;
+  int pool_tasks = 0;
+  std::set<uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    if (e.name != "pool_task") continue;
+    ++pool_tasks;
+    tids.insert(e.tid);
+    EXPECT_NE(e.parent_id, 0u);
+    // The parent chain must reach the submitting span (directly for chunks
+    // run inline on the caller thread, via adoption for pool lanes).
+    uint64_t p = e.parent_id;
+    int hops = 0;
+    while (p != 0 && p != submit_span_id && hops < 8) {
+      auto it = by_id.find(p);
+      if (it == by_id.end()) break;
+      p = it->second->parent_id;
+      ++hops;
+    }
+    EXPECT_EQ(p, submit_span_id) << "pool_task not nested under submitter";
+  }
+  EXPECT_EQ(pool_tasks, 16);
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST_F(TelemetryTest, TraceExportEmitsFlowEventsForCrossThreadEdges) {
+  std::string path = ::testing::TempDir() + "/lce_trace_flow_test.json";
+  SetTracePathForTesting(path.c_str());
+  parallel::SetThreadCountForTesting(4);
+  {
+    TraceSpan submit("flow_parent");
+    parallel::ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        TraceSpan span("flow_child");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+  WriteTraceIfEnabled();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  json::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json::Parse(buf.str(), &doc, &error)) << error;
+  int flow_starts = 0, flow_finishes = 0;
+  bool span_ids_exported = false;
+  for (const json::JsonValue& e : doc.Find("traceEvents")->array) {
+    const std::string& ph = e.Find("ph")->string;
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_finishes;
+    if (ph == "X" && e.Find("name")->string == "flow_child") {
+      const json::JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      span_ids_exported = args->Find("span_id") != nullptr &&
+                          args->Find("parent_span_id") != nullptr;
+    }
+  }
+  // 8 one-ms children across 4 lanes: at least one ran off-thread, and every
+  // flow start pairs with a finish.
+  EXPECT_GT(flow_starts, 0);
+  EXPECT_EQ(flow_starts, flow_finishes);
+  EXPECT_TRUE(span_ids_exported);
+  std::remove(path.c_str());
+}
+
 TEST_F(TelemetryTest, EstimatesBitIdenticalWithTelemetryOnAndOff) {
   auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.02), 1);
   workload::WorkloadOptions wopts;

@@ -19,10 +19,24 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s BASELINE.json CURRENT.json [--rel-tol X] "
-               "[--watch SUBSTR]... [--ignore SUBSTR]... [--markdown PATH]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s BASELINE.json CURRENT.json [options]\n"
+      "\n"
+      "Compares two bench run manifests and gates on watched metrics.\n"
+      "\n"
+      "options:\n"
+      "  --rel-tol X       relative regression tolerance (default 0.25)\n"
+      "  --watch SUBSTR    gate metrics whose name contains SUBSTR; first\n"
+      "                    use replaces the default watch list (\"qerr\"),\n"
+      "                    repeat to watch several substrings\n"
+      "  --ignore SUBSTR   exempt matching metrics from gating (repeatable)\n"
+      "  --markdown PATH   also write the report to PATH\n"
+      "\n"
+      "exit codes: 0 no regression, 1 watched metric regressed or vanished,\n"
+      "2 usage / IO / parse error (parse errors report file and byte "
+      "offset)\n",
+      argv0);
   return 2;
 }
 

@@ -1,0 +1,412 @@
+// lce_report: aggregate bench run manifests and training logs into one
+// markdown dashboard.
+//
+//   lce_report [DIR|MANIFEST.json]... [--train-log PATH]... [--out PATH]
+//
+// Positional arguments are run-manifest files or directories to scan for
+// BENCH_manifest_*.json (non-recursive). Training logs are picked up from
+// --train-log flags plus any existing `train_log` paths the manifests
+// recorded. The report joins the manifests' model cards, memory accounting,
+// and drift alerts with per-model training summaries into the
+// accuracy-vs-train-cost-vs-footprint view DESIGN.md §9 describes.
+//
+// Prints markdown to stdout (and to --out PATH when given). Exit codes:
+// 0 report rendered, 2 usage / IO / parse error (a missing or malformed
+// input is an error; an empty scan directory is not).
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/fs.h"
+#include "src/util/json_writer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using lce::json::JsonValue;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [DIR|MANIFEST.json]... [--train-log PATH]... "
+               "[--out PATH]\n",
+               argv0);
+  return 2;
+}
+
+struct Manifest {
+  std::string path;
+  JsonValue root;
+};
+
+// --- JsonValue accessors -------------------------------------------------
+
+const JsonValue* Find(const JsonValue& v, const char* key) {
+  return v.kind == JsonValue::Kind::kObject ? v.Find(key) : nullptr;
+}
+
+std::string GetString(const JsonValue& v, const char* key,
+                      const std::string& fallback = "-") {
+  const JsonValue* f = Find(v, key);
+  return (f != nullptr && f->kind == JsonValue::Kind::kString) ? f->string
+                                                               : fallback;
+}
+
+bool GetNumber(const JsonValue& v, const char* key, double* out) {
+  const JsonValue* f = Find(v, key);
+  if (f == nullptr || f->kind != JsonValue::Kind::kNumber) return false;
+  *out = f->number;
+  return true;
+}
+
+// --- cell formatting -----------------------------------------------------
+
+std::string Num(double v) {
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+std::string NumCell(const JsonValue& v, const char* key) {
+  double d = 0;
+  return GetNumber(v, key, &d) ? Num(d) : "-";
+}
+
+std::string Bytes(double v) {
+  char buf[64];
+  if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(v));
+  }
+  return buf;
+}
+
+std::string BytesCell(const JsonValue& v, const char* key) {
+  double d = 0;
+  return GetNumber(v, key, &d) ? Bytes(d) : "-";
+}
+
+// --- input collection ----------------------------------------------------
+
+bool LoadManifest(const std::string& path, std::vector<Manifest>* out) {
+  std::string text;
+  lce::Status read = lce::fs::ReadFileToString(path, &text);
+  if (!read.ok()) {
+    std::fprintf(stderr, "lce_report: %s\n", read.ToString().c_str());
+    return false;
+  }
+  Manifest m;
+  m.path = path;
+  std::string error;
+  if (!lce::json::Parse(text, &m.root, &error)) {
+    std::fprintf(stderr, "lce_report: cannot parse %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  out->push_back(std::move(m));
+  return true;
+}
+
+bool CollectManifests(const std::string& arg, std::vector<Manifest>* out) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    std::vector<std::string> paths;
+    for (const fs::directory_entry& e : fs::directory_iterator(arg, ec)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("BENCH_manifest_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        paths.push_back(e.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string& p : paths) {
+      if (!LoadManifest(p, out)) return false;
+    }
+    return true;
+  }
+  return LoadManifest(arg, out);
+}
+
+// One model's training-log rollup: epochs/rounds/phases seen, loss
+// trajectory endpoints, and total training wall time.
+struct TrainSummary {
+  std::string family;
+  int64_t events = 0;
+  double first_loss = -1;
+  double last_loss = -1;
+  double wall_seconds = 0;
+  double rows_per_sec_sum = 0;
+  int64_t rows_per_sec_n = 0;
+};
+
+bool LoadTrainLog(const std::string& path,
+                  std::map<std::string, TrainSummary>* by_model) {
+  std::string text;
+  lce::Status read = lce::fs::ReadFileToString(path, &text);
+  if (!read.ok()) {
+    std::fprintf(stderr, "lce_report: %s\n", read.ToString().c_str());
+    return false;
+  }
+  size_t pos = 0;
+  int64_t line_no = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue ev;
+    std::string error;
+    if (!lce::json::Parse(line, &ev, &error)) {
+      std::fprintf(stderr, "lce_report: cannot parse %s line %lld: %s\n",
+                   path.c_str(), static_cast<long long>(line_no),
+                   error.c_str());
+      return false;
+    }
+    TrainSummary& s = (*by_model)[GetString(ev, "model", "?")];
+    if (s.family == "-" || s.family.empty()) {
+      s.family = GetString(ev, "family");
+    }
+    ++s.events;
+    double d = 0;
+    if (GetNumber(ev, "loss", &d)) {
+      if (s.first_loss < 0) s.first_loss = d;
+      s.last_loss = d;
+    }
+    if (GetNumber(ev, "wall_s", &d)) s.wall_seconds += d;
+    if (GetNumber(ev, "rows_per_sec", &d)) {
+      s.rows_per_sec_sum += d;
+      ++s.rows_per_sec_n;
+    }
+  }
+  return true;
+}
+
+// --- report sections -----------------------------------------------------
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+void RenderRuns(const std::vector<Manifest>& manifests, std::string* out) {
+  *out += "## Runs\n\n";
+  *out +=
+      "| bench | commit | timestamp (UTC) | wall s | threads | peak RSS |\n"
+      "|---|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    std::string threads = "-";
+    if (const JsonValue* t = Find(m.root, "threads")) {
+      threads = NumCell(*t, "configured");
+    }
+    std::string rss = "-";
+    if (const JsonValue* mem = Find(m.root, "memory")) {
+      rss = BytesCell(*mem, "peak_rss_bytes");
+    }
+    Append(out, "| %s | %s | %s | %s | %s | %s |\n",
+           GetString(m.root, "bench").c_str(),
+           GetString(m.root, "git_commit").c_str(),
+           GetString(m.root, "timestamp_utc").c_str(),
+           NumCell(m.root, "wall_seconds").c_str(), threads.c_str(),
+           rss.c_str());
+  }
+  *out += "\n";
+}
+
+void RenderModelCards(const std::vector<Manifest>& manifests,
+                      std::string* out) {
+  *out += "## Model cards — accuracy vs train cost vs footprint\n\n";
+  bool any = false;
+  std::string table =
+      "| bench | model | family | dataset | params | footprint | train rows |"
+      " epochs | final loss | build s | qerr p50 | qerr p95 |\n"
+      "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* cards = Find(m.root, "model_cards");
+    if (cards == nullptr || cards->kind != JsonValue::Kind::kArray) continue;
+    const std::string bench = GetString(m.root, "bench");
+    for (const JsonValue& card : cards->array) {
+      any = true;
+      std::string p50 = "-", p95 = "-";
+      if (const JsonValue* extra = Find(card, "extra")) {
+        p50 = NumCell(*extra, "qerr_p50");
+        p95 = NumCell(*extra, "qerr_p95");
+      }
+      Append(&table,
+             "| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+             bench.c_str(), GetString(card, "model").c_str(),
+             GetString(card, "family").c_str(),
+             GetString(card, "dataset").c_str(),
+             NumCell(card, "parameter_count").c_str(),
+             BytesCell(card, "footprint_bytes").c_str(),
+             NumCell(card, "train_examples").c_str(),
+             NumCell(card, "epochs").c_str(),
+             NumCell(card, "final_train_loss").c_str(),
+             NumCell(card, "build_seconds").c_str(), p50.c_str(),
+             p95.c_str());
+    }
+  }
+  *out += any ? table : "No model cards recorded.\n";
+  *out += "\n";
+}
+
+void RenderMemory(const std::vector<Manifest>& manifests, std::string* out) {
+  *out += "## Memory\n\n";
+  bool any = false;
+  std::string table =
+      "| bench | subsystem | bytes |\n|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* mem = Find(m.root, "memory");
+    if (mem == nullptr) continue;
+    const JsonValue* subs = Find(*mem, "subsystems");
+    if (subs == nullptr || subs->kind != JsonValue::Kind::kObject) continue;
+    const std::string bench = GetString(m.root, "bench");
+    for (const auto& [name, bytes] : subs->object) {
+      if (bytes.kind != JsonValue::Kind::kNumber) continue;
+      any = true;
+      Append(&table, "| %s | %s | %s |\n", bench.c_str(), name.c_str(),
+             Bytes(bytes.number).c_str());
+    }
+  }
+  *out += any ? table : "No subsystem accounting recorded.\n";
+  *out += "\n";
+}
+
+void RenderDrift(const std::vector<Manifest>& manifests, std::string* out) {
+  *out += "## Drift alerts\n\n";
+  bool any = false;
+  std::string table =
+      "| bench | monitor | observation | window p95 | threshold |\n"
+      "|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* alerts = Find(m.root, "drift_alerts");
+    if (alerts == nullptr || alerts->kind != JsonValue::Kind::kArray) continue;
+    const std::string bench = GetString(m.root, "bench");
+    for (const JsonValue& a : alerts->array) {
+      any = true;
+      Append(&table, "| %s | %s | %s | %s | %s |\n", bench.c_str(),
+             GetString(a, "monitor").c_str(),
+             NumCell(a, "observation").c_str(), NumCell(a, "p95").c_str(),
+             NumCell(a, "threshold").c_str());
+    }
+  }
+  *out += any ? table : "No drift alerts fired.\n";
+  *out += "\n";
+}
+
+void RenderTraining(const std::map<std::string, TrainSummary>& by_model,
+                    std::string* out) {
+  *out += "## Training log\n\n";
+  if (by_model.empty()) {
+    *out += "No training-log events found.\n\n";
+    return;
+  }
+  *out +=
+      "| model | family | events | first loss | last loss | train wall s |"
+      " mean rows/s |\n|---|---|---|---|---|---|---|\n";
+  for (const auto& [model, s] : by_model) {
+    std::string first = s.first_loss >= 0 ? Num(s.first_loss) : "-";
+    std::string last = s.last_loss >= 0 ? Num(s.last_loss) : "-";
+    std::string rps = s.rows_per_sec_n > 0
+                          ? Num(s.rows_per_sec_sum /
+                                static_cast<double>(s.rows_per_sec_n))
+                          : "-";
+    Append(out, "| %s | %s | %lld | %s | %s | %s | %s |\n", model.c_str(),
+           s.family.c_str(), static_cast<long long>(s.events), first.c_str(),
+           last.c_str(), Num(s.wall_seconds).c_str(), rps.c_str());
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> train_logs;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--train-log") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      train_logs.push_back(v);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      out_path = v;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) inputs.push_back("bench/out");
+
+  std::vector<Manifest> manifests;
+  for (const std::string& in : inputs) {
+    if (!CollectManifests(in, &manifests)) return 2;
+  }
+
+  // Manifests record where their run streamed training events; fold those
+  // logs in automatically (when present on disk) alongside the explicit
+  // --train-log paths, deduplicating shared paths.
+  for (const Manifest& m : manifests) {
+    const JsonValue* tl = Find(m.root, "train_log");
+    if (tl != nullptr && tl->kind == JsonValue::Kind::kString &&
+        !tl->string.empty()) {
+      std::error_code ec;
+      if (fs::exists(tl->string, ec)) train_logs.push_back(tl->string);
+    }
+  }
+  std::sort(train_logs.begin(), train_logs.end());
+  train_logs.erase(std::unique(train_logs.begin(), train_logs.end()),
+                   train_logs.end());
+  std::map<std::string, TrainSummary> by_model;
+  for (const std::string& path : train_logs) {
+    if (!LoadTrainLog(path, &by_model)) return 2;
+  }
+
+  std::string md = "# LCE run report\n\n";
+  Append(&md, "%d manifest%s", static_cast<int>(manifests.size()),
+         manifests.size() == 1 ? "" : "s");
+  if (!train_logs.empty()) {
+    Append(&md, ", %d training log%s", static_cast<int>(train_logs.size()),
+           train_logs.size() == 1 ? "" : "s");
+  }
+  md += ".\n\n";
+  RenderRuns(manifests, &md);
+  RenderModelCards(manifests, &md);
+  RenderMemory(manifests, &md);
+  RenderDrift(manifests, &md);
+  RenderTraining(by_model, &md);
+
+  std::fputs(md.c_str(), stdout);
+  if (!out_path.empty()) {
+    lce::Status written = lce::fs::WriteStringToFile(out_path, md);
+    if (!written.ok()) {
+      std::fprintf(stderr, "lce_report: %s\n", written.ToString().c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
