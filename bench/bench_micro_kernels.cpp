@@ -18,14 +18,19 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "src/ce/factory.h"
 #include "src/exec/executor.h"
 #include "src/exec/hash_index.h"
+#include "src/gbdt/gbdt.h"
 #include "src/nn/matrix.h"
+#include "src/util/telemetry/telemetry.h"
 #include "src/storage/datagen.h"
 #include "bench/bench_common.h"
 #include "src/util/fs.h"
 #include "src/util/json_writer.h"
+#include "src/util/simd.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry/run_manifest.h"
@@ -44,11 +49,70 @@ void BM_MatMul(benchmark::State& state) {
   nn::Matrix b = nn::Matrix::Randn(n, n, 1.0f, &rng);
   for (auto _ : state) {
     nn::Matrix c = nn::MatMul(a, b);
-    benchmark::DoNotOptimize(c.data().data());
+    benchmark::DoNotOptimize(c.raw());
   }
   state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Kernel-path A/B: Args are {n, simd} with simd 0 = naive reference,
+// 1 = blocked/vectorized. items_per_second is FLOP/s.
+void BM_MatMulKernel(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  simd::SetSimdEnabledForTesting(state.range(1) != 0 ? 1 : 0);
+  Rng rng(1);
+  nn::Matrix a = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  nn::Matrix b = nn::Matrix::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    nn::Matrix c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+  simd::SetSimdEnabledForTesting(-1);
+}
+BENCHMARK(BM_MatMulKernel)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({384, 0})
+    ->Args({384, 1});
+
+// Batched GBDT traversal vs per-row prediction over the same fitted
+// ensemble. Args: {num_rows, simd}. items_per_second is rows/s.
+void BM_GbdtPredictBatch(benchmark::State& state) {
+  int num_rows = static_cast<int>(state.range(0));
+  simd::SetSimdEnabledForTesting(state.range(1) != 0 ? 1 : 0);
+  static std::unique_ptr<gbdt::GradientBoosting> model = [] {
+    Rng rng(11);
+    std::vector<std::vector<float>> rows;
+    std::vector<float> targets;
+    for (int i = 0; i < 4000; ++i) {
+      float a = static_cast<float>(rng.Uniform());
+      float b = static_cast<float>(rng.Uniform(-2, 2));
+      float c = static_cast<float>(rng.Gaussian());
+      float d = static_cast<float>(rng.Uniform(0, 10));
+      rows.push_back({a, b, c, d});
+      targets.push_back(std::sin(5 * a) + 0.3f * b * c + 0.05f * d);
+    }
+    auto m = std::make_unique<gbdt::GradientBoosting>();
+    m->Fit(rows, targets);
+    return m;
+  }();
+  Rng rng(12);
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < num_rows; ++i) {
+    rows.push_back({static_cast<float>(rng.Uniform()),
+                    static_cast<float>(rng.Uniform(-2, 2)),
+                    static_cast<float>(rng.Gaussian()),
+                    static_cast<float>(rng.Uniform(0, 10))});
+  }
+  for (auto _ : state) {
+    std::vector<float> preds = model->PredictBatch(rows);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_rows);
+  simd::SetSimdEnabledForTesting(-1);
+}
+BENCHMARK(BM_GbdtPredictBatch)->Args({2048, 0})->Args({2048, 1});
 
 // Same kernel swept over pool sizes: Args are {n, threads}.
 void BM_MatMulThreads(benchmark::State& state) {
@@ -60,7 +124,7 @@ void BM_MatMulThreads(benchmark::State& state) {
   nn::Matrix b = nn::Matrix::Randn(n, n, 1.0f, &rng);
   for (auto _ : state) {
     nn::Matrix c = nn::MatMul(a, b);
-    benchmark::DoNotOptimize(c.data().data());
+    benchmark::DoNotOptimize(c.raw());
   }
   state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
   parallel::SetThreadCountForTesting(0);
@@ -263,7 +327,7 @@ void WriteParallelSweepJson(const std::string& path) {
       double s = TimeSeconds(t, [&] {
         for (int rep = 0; rep < 8; ++rep) {
           nn::Matrix c = nn::MatMul(a, b);
-          benchmark::DoNotOptimize(c.data().data());
+          benchmark::DoNotOptimize(c.raw());
         }
       });
       results.push_back({"matmul_384", t, s});
@@ -314,6 +378,206 @@ void WriteParallelSweepJson(const std::string& path) {
   LCE_LOG(INFO) << "wrote " << path;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel GFLOP/s + checksum report: every dense kernel and the batched GBDT
+// traversal, timed on the naive reference path and the vectorized path,
+// single-threaded (plus a matmul thread sweep). Results go three places:
+// BENCH_kernels.json (human/script inspection), kernel.* telemetry gauges
+// (into the run manifest, so tools/bench_diff can gate `inv_gflops` — the
+// higher-is-worse inverse of throughput — and `checksum_drift`, which must
+// stay 0 while the default build is bit-identical to the reference), and the
+// log.
+// ---------------------------------------------------------------------------
+
+// Order-independent-enough checksum over logical elements; the two kernel
+// paths are bit-identical, so the drift of this sum must be exactly 0.
+double LogicalChecksum(const nn::Matrix& m) {
+  double s = 0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) s += m.At(r, c);
+  }
+  return s;
+}
+
+// Min-of-reps seconds for one call of `body` (body runs inner times per rep).
+double TimeOpSeconds(int inner, const std::function<void()>& body) {
+  body();  // warm-up
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < inner; ++i) body();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double>(t1 - t0).count() / inner);
+  }
+  return best;
+}
+
+struct KernelSample {
+  std::string name;
+  double flops_per_op;        // 0 when the op is row-oriented (gbdt)
+  double rows_per_op;         // 0 when the op is flop-oriented
+  double naive_seconds;
+  double simd_seconds;
+  double checksum_drift;      // |simd checksum - naive checksum|, expect 0
+};
+
+// Times `op` (which must return a checksum) on both kernel paths.
+KernelSample SampleKernel(const std::string& name, double flops_per_op,
+                          double rows_per_op, int inner,
+                          const std::function<double()>& op) {
+  KernelSample s;
+  s.name = name;
+  s.flops_per_op = flops_per_op;
+  s.rows_per_op = rows_per_op;
+  simd::SetSimdEnabledForTesting(0);
+  double naive_checksum = op();
+  s.naive_seconds = TimeOpSeconds(inner, [&] { op(); });
+  simd::SetSimdEnabledForTesting(1);
+  double simd_checksum = op();
+  s.simd_seconds = TimeOpSeconds(inner, [&] { op(); });
+  simd::SetSimdEnabledForTesting(-1);
+  s.checksum_drift = std::abs(simd_checksum - naive_checksum);
+  return s;
+}
+
+void WriteKernelReportJson(const std::string& path) {
+  using telemetry::MetricsRegistry;
+  std::vector<KernelSample> samples;
+  parallel::SetThreadCountForTesting(1);  // per-kernel numbers: one thread
+
+  {
+    Rng rng(1);
+    nn::Matrix a = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    nn::Matrix b = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    double flops = 2.0 * 384 * 384 * 384;
+    samples.push_back(SampleKernel("matmul_384", flops, 0, 2, [&] {
+      return LogicalChecksum(nn::MatMul(a, b));
+    }));
+    samples.push_back(SampleKernel("matmul_transa_384", flops, 0, 2, [&] {
+      return LogicalChecksum(nn::MatMulTransA(a, b));
+    }));
+    samples.push_back(SampleKernel("matmul_transb_384", flops, 0, 2, [&] {
+      return LogicalChecksum(nn::MatMulTransB(a, b));
+    }));
+    nn::Matrix bias = nn::Matrix::Randn(1, 384, 1.0f, &rng);
+    samples.push_back(SampleKernel("matmul_fused_relu_384", flops, 0, 2, [&] {
+      return LogicalChecksum(
+          nn::MatMulBiasAct(a, b, bias, nn::Activation::kRelu));
+    }));
+    // The per-query inference shape: one row against a dense layer.
+    nn::Matrix x = nn::Matrix::Randn(1, 384, 1.0f, &rng);
+    samples.push_back(
+        SampleKernel("gemv_1x384", 2.0 * 384 * 384, 0, 200, [&] {
+          return LogicalChecksum(nn::MatMul(x, b));
+        }));
+    // Small-M A*B^T (the backward dx shape that uses the dot kernel).
+    nn::Matrix dy = nn::Matrix::Randn(4, 384, 1.0f, &rng);
+    samples.push_back(
+        SampleKernel("transb_dot_4x384", 2.0 * 4 * 384 * 384, 0, 50, [&] {
+          return LogicalChecksum(nn::MatMulTransB(dy, b));
+        }));
+  }
+
+  {
+    Rng rng(11);
+    std::vector<std::vector<float>> train_rows;
+    std::vector<float> targets;
+    for (int i = 0; i < 4000; ++i) {
+      float a = static_cast<float>(rng.Uniform());
+      float b = static_cast<float>(rng.Uniform(-2, 2));
+      float c = static_cast<float>(rng.Gaussian());
+      float d = static_cast<float>(rng.Uniform(0, 10));
+      train_rows.push_back({a, b, c, d});
+      targets.push_back(std::sin(5 * a) + 0.3f * b * c + 0.05f * d);
+    }
+    gbdt::GradientBoosting model;
+    model.Fit(train_rows, targets);
+    std::vector<std::vector<float>> rows(train_rows.begin(),
+                                         train_rows.begin() + 2048);
+    samples.push_back(SampleKernel("gbdt_batch_2048", 0, 2048, 5, [&] {
+      std::vector<float> preds = model.PredictBatch(rows);
+      double s = 0;
+      for (float p : preds) s += p;
+      return s;
+    }));
+  }
+
+  // Thread sweep on the vectorized matmul: the ISSUE's ~0.95x -> >=2x
+  // criterion. Honest on any machine — hardware_threads is recorded next to
+  // it, so a 1-core container reporting ~1x is interpretable.
+  double sweep_1t = 0, sweep_4t = 0;
+  {
+    Rng rng(1);
+    nn::Matrix a = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    nn::Matrix b = nn::Matrix::Randn(384, 384, 1.0f, &rng);
+    simd::SetSimdEnabledForTesting(1);
+    auto op = [&] { benchmark::DoNotOptimize(nn::MatMul(a, b).raw()); };
+    parallel::SetThreadCountForTesting(1);
+    sweep_1t = TimeOpSeconds(2, op);
+    parallel::SetThreadCountForTesting(4);
+    sweep_4t = TimeOpSeconds(2, op);
+    simd::SetSimdEnabledForTesting(-1);
+  }
+  parallel::SetThreadCountForTesting(0);
+  double thread4_speedup = sweep_4t > 0 ? sweep_1t / sweep_4t : 0.0;
+
+  auto& registry = MetricsRegistry::Global();
+  std::string out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("hardware_threads")
+      .Value(uint64_t{std::thread::hardware_concurrency()});
+  w.Key("kernels").BeginArray();
+  for (const KernelSample& s : samples) {
+    double naive_thru = 0, simd_thru = 0;
+    const char* unit = "";
+    if (s.flops_per_op > 0) {
+      naive_thru = s.flops_per_op / s.naive_seconds / 1e9;
+      simd_thru = s.flops_per_op / s.simd_seconds / 1e9;
+      unit = "gflops";
+    } else {
+      naive_thru = s.rows_per_op / s.naive_seconds / 1e6;
+      simd_thru = s.rows_per_op / s.simd_seconds / 1e6;
+      unit = "mrows_per_sec";
+    }
+    double speedup = s.naive_seconds / s.simd_seconds;
+    w.BeginObject()
+        .Key("kernel").Value(s.name)
+        .Key("unit").Value(unit)
+        .Key("naive").Value(naive_thru)
+        .Key("simd").Value(simd_thru)
+        .Key("speedup_vs_naive").Value(speedup)
+        .Key("checksum_drift").Value(s.checksum_drift)
+        .EndObject();
+    // Gauges for the manifest: inverse throughput is the gated key (higher
+    // = worse, matching bench_diff's direction), drift must stay at 0.
+    std::string prefix = "kernel." + s.name + ".";
+    registry.gauge(prefix + "inv_" + unit).Set(1.0 / simd_thru);
+    registry.gauge(prefix + unit).Set(simd_thru);
+    registry.gauge(prefix + "naive_" + unit).Set(naive_thru);
+    registry.gauge(prefix + "speedup_vs_naive").Set(speedup);
+    registry.gauge(prefix + "checksum_drift").Set(s.checksum_drift);
+    LCE_LOG(INFO) << "kernel " << s.name << ": naive " << naive_thru << " "
+                  << unit << ", simd " << simd_thru << " (" << speedup
+                  << "x), checksum drift " << s.checksum_drift;
+  }
+  w.EndArray();
+  w.Key("matmul_384_threads4_speedup").Value(thread4_speedup);
+  w.EndObject();
+  registry.gauge("kernel.matmul_384.threads4_speedup").Set(thread4_speedup);
+  registry.gauge("kernel.matmul_384.threads4_inv_speedup")
+      .Set(thread4_speedup > 0 ? 1.0 / thread4_speedup : 0.0);
+
+  out.push_back('\n');
+  lce::Status written = lce::fs::WriteStringToFile(path, out);
+  if (!written.ok()) {
+    LCE_LOG(ERROR) << "cannot write kernel report: " << written.ToString();
+    return;
+  }
+  LCE_LOG(INFO) << "wrote " << path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,6 +587,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteParallelSweepJson(lce::bench::BenchOutPath("BENCH_parallel.json"));
+  WriteKernelReportJson(lce::bench::BenchOutPath("BENCH_kernels.json"));
   lce::telemetry::WriteRunManifest(
       lce::bench::BenchOutPath("BENCH_manifest_micro_kernels.json"),
       "micro_kernels", wall.ElapsedSeconds());

@@ -37,6 +37,19 @@ class Estimator {
   /// clamps both sides at one tuple).
   virtual double EstimateCardinality(const query::Query& q) = 0;
 
+  /// Estimates for many queries at once. Semantically a loop over
+  /// EstimateCardinality() — the default is exactly that — but estimators
+  /// with a vectorized inference path (e.g. LW-XGB's batched GBDT traversal)
+  /// override it to amortize per-call overhead. Overrides must return
+  /// bit-identical values to the per-query calls in the same order.
+  virtual std::vector<double> EstimateBatch(
+      const std::vector<query::Query>& queries) {
+    std::vector<double> out;
+    out.reserve(queries.size());
+    for (const query::Query& q : queries) out.push_back(EstimateCardinality(q));
+    return out;
+  }
+
   /// EstimateCardinality() plus diagnostics: fills `rec` with the estimator
   /// name, query shape, and — where the estimator overrides this — the
   /// per-predicate selectivity breakdown, fallback events, and

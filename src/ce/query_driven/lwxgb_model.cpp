@@ -40,6 +40,23 @@ double LwXgbEstimator::EstimateCardinality(const query::Query& q) {
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
+std::vector<double> LwXgbEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) {
+  LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateBatch()");
+  std::vector<std::vector<float>> rows;
+  rows.reserve(queries.size());
+  for (const query::Query& q : queries) {
+    rows.push_back(encoder_->FlatEncode(q, options_.flat_variant));
+  }
+  std::vector<float> preds = model_->PredictBatch(rows);
+  std::vector<double> out;
+  out.reserve(preds.size());
+  for (float y : preds) {
+    out.push_back(encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f)));
+  }
+  return out;
+}
+
 double LwXgbEstimator::EstimateWithDiagnostics(const query::Query& q,
                                                ExplainRecord* rec) {
   LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateCardinality()");

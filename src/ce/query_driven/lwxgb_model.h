@@ -32,6 +32,10 @@ class LwXgbEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  /// Batched inference: encodes all queries, then one level-synchronous
+  /// PredictBatch() over the SoA forest. Bit-identical to the per-query path.
+  std::vector<double> EstimateBatch(
+      const std::vector<query::Query>& queries) override;
   double EstimateWithDiagnostics(const query::Query& q,
                                  ExplainRecord* rec) override;
   Status UpdateWithQueries(

@@ -143,8 +143,11 @@ double NeuralQueryDrivenEstimator::RunEpoch(
     if (telemetry::TrainLogEnabled()) {
       double sq_sum = 0;
       for (nn::Param* p : Params()) {
-        for (float g : p->grad.data()) {
-          sq_sum += static_cast<double>(g) * g;
+        for (int r = 0; r < p->grad.rows(); ++r) {
+          const float* row = p->grad.RowPtr(r);
+          for (int c = 0; c < p->grad.cols(); ++c) {
+            sq_sum += static_cast<double>(row[c]) * row[c];
+          }
         }
       }
       last_grad_norm_ = std::sqrt(sq_sum);

@@ -62,6 +62,9 @@ class RegressionTree {
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Node storage (root is node 0); read by FlatForest::AppendTree.
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
  private:
   int BuildNode(const std::vector<std::vector<uint8_t>>& binned,
                 const std::vector<float>& targets,

@@ -23,17 +23,24 @@ class Adam {
     float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
     float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
     for (Param* p : params) {
-      auto& value = p->value.data();
-      auto& grad = p->grad.data();
-      auto& m = p->m.data();
-      auto& v = p->v.data();
-      for (size_t i = 0; i < value.size(); ++i) {
-        m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
-        v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
-        float mhat = m[i] / bc1;
-        float vhat = v[i] / bc2;
-        value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-        grad[i] = 0.0f;
+      // Per logical row: the four state matrices share one padded layout,
+      // and the update must not touch padding (sqrt(0)/eps drift would
+      // break the padding-zero invariant).
+      const int cols = p->value.cols();
+      for (int r = 0; r < p->value.rows(); ++r) {
+        float* __restrict__ value = p->value.RowPtr(r);
+        float* __restrict__ grad = p->grad.RowPtr(r);
+        float* __restrict__ m = p->m.RowPtr(r);
+        float* __restrict__ v = p->v.RowPtr(r);
+#pragma omp simd
+        for (int i = 0; i < cols; ++i) {
+          m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
+          v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
+          float mhat = m[i] / bc1;
+          float vhat = v[i] / bc2;
+          value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+          grad[i] = 0.0f;
+        }
       }
     }
   }

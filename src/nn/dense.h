@@ -23,11 +23,14 @@ class Dense {
                               rng)),
         bias_(Matrix::Zeros(1, out_dim)) {}
 
-  Matrix Forward(const Matrix& x) {
+  Matrix Forward(const Matrix& x) { return Forward(x, Activation::kIdentity); }
+
+  /// y = act(x * W + b) via the fused kernel epilogue (matrix.cpp): bias and
+  /// activation apply while each output row is cache-hot instead of in two
+  /// further passes. Bit-identical to Forward + ApplyActivation.
+  Matrix Forward(const Matrix& x, Activation act) {
     input_ = x;
-    Matrix y = MatMul(x, weight_.value);
-    AddBiasRow(&y, bias_.value);
-    return y;
+    return MatMulBiasAct(x, weight_.value, bias_.value, act);
   }
 
   /// Returns dL/dx; accumulates dL/dW and dL/db.

@@ -1,9 +1,37 @@
+// Kernel layer for the dense math core (DESIGN.md §10).
+//
+// Two implementations live side by side and dispatch on
+// lce::simd::SimdEnabled() (LCE_SIMD, default on):
+//
+//   * The vectorized path: 4-row register-blocked panels over a k-blocked
+//     (cache-tiled) loop nest with `#pragma omp simd` inner loops on aligned,
+//     padded rows, and a fused bias+activation epilogue applied while each
+//     output row is still cache-hot.
+//   * The naive reference path: the plain triple loops, kept as the
+//     correctness oracle for the equivalence tests and A/B benches.
+//
+// Exactness contract: per output element, both paths accumulate the k-terms
+// in the same ascending order into a single accumulator, so they are
+// bit-identical on every input — the fast path only reorganizes which
+// *independent* elements progress together (rows of a panel, lanes of a
+// vector). The one sanctioned exception is LCE_FASTMATH=1, which lets the
+// small-batch A*B^T dot kernel use a vectorized multi-accumulator reduction;
+// that changes the summation order and is therefore off by default.
+//
+// Threading: all kernels are row-blocked over the global thread pool; output
+// rows are disjoint and per-element accumulation order never depends on the
+// chunking, so results are bit-identical at any thread count.
+
 #include "src/nn/matrix.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "src/nn/activation.h"
 #include "src/util/parallel.h"
+
+#define LCE_RESTRICT __restrict__
 
 namespace lce {
 namespace nn {
@@ -13,6 +41,18 @@ namespace {
 // Minimum multiply-add operations per parallel chunk; cheaper chunks are not
 // worth a task dispatch.
 constexpr int64_t kFlopsPerChunk = 1 << 15;
+
+// k-tile for the blocked MatMul: a tile of B (kKc x N floats) is streamed
+// against each 4-row panel of A, so it stays resident in L2 while the panel's
+// C rows stay in L1. Per output element the k-accumulation order is still
+// globally ascending (tiles are visited in order with a single accumulator).
+constexpr int kKc = 128;
+
+// A*B^T calls with at least this many A rows transpose B once into a padded
+// scratch matrix and reuse the blocked MatMul kernel; below it (e.g. the
+// batch-1 backward passes) the packing traffic would rival the compute, so a
+// 4-way-unrolled dot kernel runs directly on the unpacked rows.
+constexpr int kPackMinRows = 8;
 
 // Rows per chunk for a kernel whose output rows are independent. One lane
 // gets a single chunk (the exact sequential loop); multiple lanes get ~4
@@ -34,70 +74,322 @@ Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
   return Status::InvalidArgument(oss.str());
 }
 
-// C = A * B over a row block of A. Per output element the k-accumulation
-// order matches the sequential kernel, so blocking never changes the result.
-Matrix MatMulImpl(const Matrix& a, const Matrix& b) {
-  Matrix c(a.rows(), b.cols());
-  parallel::ParallelFor(
-      0, a.rows(),
-      RowGrain(a.rows(), static_cast<int64_t>(a.cols()) * b.cols()),
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* arow = a.RowPtr(static_cast<int>(i));
-          float* crow = c.RowPtr(static_cast<int>(i));
-          for (int k = 0; k < a.cols(); ++k) {
-            float av = arow[k];
-            if (av == 0.0f) continue;
-            const float* brow = b.RowPtr(k);
-            for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
-  return c;
+// Fused epilogue over one finished output row: add the bias (when present),
+// then apply the activation — element-wise, so the result is bit-identical
+// to separate AddBiasRow + ApplyActivation passes. The activation formulas
+// must stay in sync with activation.h.
+void EpilogueRow(float* LCE_RESTRICT row, const float* LCE_RESTRICT bias,
+                 int n, Activation act) {
+  if (bias != nullptr) {
+#pragma omp simd
+    for (int j = 0; j < n; ++j) row[j] += bias[j];
+  }
+  switch (act) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kRelu:
+#pragma omp simd
+      for (int j = 0; j < n; ++j) row[j] = row[j] > 0 ? row[j] : 0.0f;
+      break;
+    case Activation::kSigmoid:
+      for (int j = 0; j < n; ++j) row[j] = 1.0f / (1.0f + std::exp(-row[j]));
+      break;
+    case Activation::kTanh:
+      for (int j = 0; j < n; ++j) row[j] = std::tanh(row[j]);
+      break;
+  }
 }
 
-// C = A^T * B blocked over output rows (columns of A). Inside a block the
-// loop stays k-outer like the sequential kernel (streaming rows of A and B),
-// and element (i, j) accumulates a(k, i) * b(k, j) in ascending k no matter
-// how the i-range is blocked, so output is bit-identical at any thread count.
-Matrix MatMulTransAImpl(const Matrix& a, const Matrix& b) {
-  Matrix c(a.cols(), b.cols());
-  parallel::ParallelFor(
-      0, a.cols(),
-      RowGrain(a.cols(), static_cast<int64_t>(a.rows()) * b.cols()),
-      [&](int64_t i0, int64_t i1) {
-        for (int k = 0; k < a.rows(); ++k) {
-          const float* arow = a.RowPtr(k);
-          const float* brow = b.RowPtr(k);
-          for (int64_t i = i0; i < i1; ++i) {
-            float av = arow[i];
-            if (av == 0.0f) continue;
-            float* crow = c.RowPtr(static_cast<int>(i));
-            for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
-  return c;
+// ---------------------------------------------------------------------------
+// Naive reference kernels: the plain loops (zero-skip removed — the old
+// `av == 0.0f` shortcut defeated vectorization on dense inputs and silently
+// suppressed NaN/Inf propagation from the corresponding B row).
+// ---------------------------------------------------------------------------
+
+// C = A * B over a row block of A. Per output element the k-accumulation
+// order matches the sequential kernel, so blocking never changes the result.
+void MatMulRowsNaive(const Matrix& a, const Matrix& b, Matrix* c, int64_t r0,
+                     int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a.RowPtr(static_cast<int>(i));
+    float* crow = c->RowPtr(static_cast<int>(i));
+    for (int k = 0; k < a.cols(); ++k) {
+      float av = arow[k];
+      const float* brow = b.RowPtr(k);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C = A^T * B over an output-row block (columns of A). The loop stays
+// k-outer like the sequential kernel (streaming rows of A and B), and
+// element (i, j) accumulates a(k, i) * b(k, j) in ascending k no matter how
+// the i-range is blocked, so output is bit-identical at any thread count.
+void MatMulTransARowsNaive(const Matrix& a, const Matrix& b, Matrix* c,
+                           int64_t i0, int64_t i1) {
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.RowPtr(k);
+    const float* brow = b.RowPtr(k);
+    for (int64_t i = i0; i < i1; ++i) {
+      float av = arow[i];
+      float* crow = c->RowPtr(static_cast<int>(i));
+      for (int j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
 }
 
 // C = A * B^T over a row block of A; each element is an independent dot.
-Matrix MatMulTransBImpl(const Matrix& a, const Matrix& b) {
-  Matrix c(a.rows(), b.rows());
+void MatMulTransBRowsNaive(const Matrix& a, const Matrix& b, Matrix* c,
+                           int64_t r0, int64_t r1) {
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* arow = a.RowPtr(static_cast<int>(i));
+    float* crow = c->RowPtr(static_cast<int>(i));
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.RowPtr(j);
+      float dot = 0;
+      for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels.
+// ---------------------------------------------------------------------------
+
+// C = A * B over a row block of A: 4-row panels share each streamed B row
+// (one load, four FMAs per lane), the k loop is tiled by kKc so a B tile
+// stays in L2, and the j loop vectorizes over the aligned padded rows. Each
+// C element keeps a single accumulator fed in ascending-k order, so the
+// result is bit-identical to MatMulRowsNaive. The epilogue (bias +
+// activation) runs once per finished row, while it is still cache-hot.
+void MatMulRowsSimd(const Matrix& a, const Matrix& b, const Matrix* bias,
+                    Activation act, Matrix* c, int64_t r0, int64_t r1) {
+  const int K = a.cols();
+  const int N = b.cols();
+  const int ldb = b.ld();
+  const float* bp = b.raw();
+  const float* bias_row = bias != nullptr ? bias->RowPtr(0) : nullptr;
+  const bool epilogue = bias_row != nullptr || act != Activation::kIdentity;
+  int64_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* LCE_RESTRICT a0 = a.RowPtr(static_cast<int>(i));
+    const float* LCE_RESTRICT a1 = a.RowPtr(static_cast<int>(i) + 1);
+    const float* LCE_RESTRICT a2 = a.RowPtr(static_cast<int>(i) + 2);
+    const float* LCE_RESTRICT a3 = a.RowPtr(static_cast<int>(i) + 3);
+    float* LCE_RESTRICT c0 = c->RowPtr(static_cast<int>(i));
+    float* LCE_RESTRICT c1 = c->RowPtr(static_cast<int>(i) + 1);
+    float* LCE_RESTRICT c2 = c->RowPtr(static_cast<int>(i) + 2);
+    float* LCE_RESTRICT c3 = c->RowPtr(static_cast<int>(i) + 3);
+    for (int kb = 0; kb < K; kb += kKc) {
+      const int ke = std::min(K, kb + kKc);
+      for (int k = kb; k < ke; ++k) {
+        const float* LCE_RESTRICT brow = bp + static_cast<size_t>(k) * ldb;
+        const float av0 = a0[k];
+        const float av1 = a1[k];
+        const float av2 = a2[k];
+        const float av3 = a3[k];
+#pragma omp simd
+        for (int j = 0; j < N; ++j) {
+          c0[j] += av0 * brow[j];
+          c1[j] += av1 * brow[j];
+          c2[j] += av2 * brow[j];
+          c3[j] += av3 * brow[j];
+        }
+      }
+    }
+    if (epilogue) {
+      EpilogueRow(c0, bias_row, N, act);
+      EpilogueRow(c1, bias_row, N, act);
+      EpilogueRow(c2, bias_row, N, act);
+      EpilogueRow(c3, bias_row, N, act);
+    }
+  }
+  // Tail rows (and the M=1 GEMV shape of per-query inference): one streamed
+  // pass over B with a vectorized j loop.
+  for (; i < r1; ++i) {
+    const float* LCE_RESTRICT arow = a.RowPtr(static_cast<int>(i));
+    float* LCE_RESTRICT crow = c->RowPtr(static_cast<int>(i));
+    for (int k = 0; k < K; ++k) {
+      const float* LCE_RESTRICT brow = bp + static_cast<size_t>(k) * ldb;
+      const float av = arow[k];
+#pragma omp simd
+      for (int j = 0; j < N; ++j) crow[j] += av * brow[j];
+    }
+    if (epilogue) EpilogueRow(crow, bias_row, N, act);
+  }
+}
+
+// C = A^T * B over an output-row block: k-outer like the naive kernel (B's
+// row stays in L1 across the whole i-range), 4 output rows per step sharing
+// it, vectorized over j. Ascending-k single accumulators — bit-identical to
+// MatMulTransARowsNaive.
+void MatMulTransARowsSimd(const Matrix& a, const Matrix& b, Matrix* c,
+                          int64_t i0, int64_t i1) {
+  const int M = a.rows();
+  const int N = b.cols();
+  for (int k = 0; k < M; ++k) {
+    const float* LCE_RESTRICT arow = a.RowPtr(k);
+    const float* LCE_RESTRICT brow = b.RowPtr(k);
+    int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float av0 = arow[i];
+      const float av1 = arow[i + 1];
+      const float av2 = arow[i + 2];
+      const float av3 = arow[i + 3];
+      float* LCE_RESTRICT c0 = c->RowPtr(static_cast<int>(i));
+      float* LCE_RESTRICT c1 = c->RowPtr(static_cast<int>(i) + 1);
+      float* LCE_RESTRICT c2 = c->RowPtr(static_cast<int>(i) + 2);
+      float* LCE_RESTRICT c3 = c->RowPtr(static_cast<int>(i) + 3);
+#pragma omp simd
+      for (int j = 0; j < N; ++j) {
+        c0[j] += av0 * brow[j];
+        c1[j] += av1 * brow[j];
+        c2[j] += av2 * brow[j];
+        c3[j] += av3 * brow[j];
+      }
+    }
+    for (; i < i1; ++i) {
+      const float av = arow[i];
+      float* LCE_RESTRICT crow = c->RowPtr(static_cast<int>(i));
+#pragma omp simd
+      for (int j = 0; j < N; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Small-M A * B^T: independent dot products, 4 B rows unrolled per step so
+// four scalar accumulator chains run in parallel. Each chain sums ascending
+// k — bit-identical to the naive dot loop.
+void MatMulTransBRowsDot(const Matrix& a, const Matrix& b, Matrix* c,
+                         int64_t r0, int64_t r1) {
+  const int K = a.cols();
+  const int Nb = b.rows();
+  const bool fast = simd::FastMathEnabled();
+  for (int64_t i = r0; i < r1; ++i) {
+    const float* LCE_RESTRICT arow = a.RowPtr(static_cast<int>(i));
+    float* LCE_RESTRICT crow = c->RowPtr(static_cast<int>(i));
+    int j = 0;
+    if (fast) {
+      // LCE_FASTMATH: vectorized reduction — multiple partial sums per dot,
+      // combined by the horizontal add. NOT bit-identical to the reference
+      // (summation order changes); gated off by default.
+      for (; j < Nb; ++j) {
+        const float* LCE_RESTRICT brow = b.RowPtr(j);
+        float dot = 0;
+#pragma omp simd reduction(+ : dot)
+        for (int k = 0; k < K; ++k) dot += arow[k] * brow[k];
+        crow[j] = dot;
+      }
+      continue;
+    }
+    for (; j + 4 <= Nb; j += 4) {
+      const float* LCE_RESTRICT b0 = b.RowPtr(j);
+      const float* LCE_RESTRICT b1 = b.RowPtr(j + 1);
+      const float* LCE_RESTRICT b2 = b.RowPtr(j + 2);
+      const float* LCE_RESTRICT b3 = b.RowPtr(j + 3);
+      float d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+      for (int k = 0; k < K; ++k) {
+        const float av = arow[k];
+        d0 += av * b0[k];
+        d1 += av * b1[k];
+        d2 += av * b2[k];
+        d3 += av * b3[k];
+      }
+      crow[j] = d0;
+      crow[j + 1] = d1;
+      crow[j + 2] = d2;
+      crow[j + 3] = d3;
+    }
+    for (; j < Nb; ++j) {
+      const float* LCE_RESTRICT brow = b.RowPtr(j);
+      float dot = 0;
+      for (int k = 0; k < K; ++k) dot += arow[k] * brow[k];
+      crow[j] = dot;
+    }
+  }
+}
+
+// B transposed into a fresh padded matrix (16x16 tiles for cache-friendly
+// strided reads). Lets large-M A * B^T reuse the blocked MatMul kernel.
+Matrix TransposePacked(const Matrix& b) {
+  Matrix bt(b.cols(), b.rows());
+  constexpr int kTile = 16;
   parallel::ParallelFor(
-      0, a.rows(),
-      RowGrain(a.rows(), static_cast<int64_t>(b.rows()) * a.cols()),
-      [&](int64_t r0, int64_t r1) {
-        for (int64_t i = r0; i < r1; ++i) {
-          const float* arow = a.RowPtr(static_cast<int>(i));
-          float* crow = c.RowPtr(static_cast<int>(i));
-          for (int j = 0; j < b.rows(); ++j) {
-            const float* brow = b.RowPtr(j);
-            float dot = 0;
-            for (int k = 0; k < a.cols(); ++k) dot += arow[k] * brow[k];
-            crow[j] = dot;
+      0, b.cols(), RowGrain(b.cols(), b.rows()),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t it = i0; it < i1; it += kTile) {
+          const int ie = static_cast<int>(std::min<int64_t>(i1, it + kTile));
+          for (int jt = 0; jt < b.rows(); jt += kTile) {
+            const int je = std::min(b.rows(), jt + kTile);
+            for (int i = static_cast<int>(it); i < ie; ++i) {
+              float* btrow = bt.RowPtr(i);
+              for (int j = jt; j < je; ++j) btrow[j] = b.At(j, i);
+            }
           }
         }
       });
+  return bt;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+// C = act(A * B + bias); bias may be null, act may be identity.
+Matrix MatMulImpl(const Matrix& a, const Matrix& b, const Matrix* bias,
+                  Activation act) {
+  Matrix c(a.rows(), b.cols());
+  const int64_t grain =
+      RowGrain(a.rows(), static_cast<int64_t>(a.cols()) * b.cols());
+  if (simd::SimdEnabled()) {
+    parallel::ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+      MatMulRowsSimd(a, b, bias, act, &c, r0, r1);
+    });
+    return c;
+  }
+  parallel::ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+    MatMulRowsNaive(a, b, &c, r0, r1);
+  });
+  // Reference path: the unfused two extra passes.
+  if (bias != nullptr) AddBiasRow(&c, *bias);
+  return ApplyActivation(act, std::move(c));
+}
+
+Matrix MatMulTransAImpl(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  const int64_t grain =
+      RowGrain(a.cols(), static_cast<int64_t>(a.rows()) * b.cols());
+  const bool simd = simd::SimdEnabled();
+  parallel::ParallelFor(0, a.cols(), grain, [&](int64_t i0, int64_t i1) {
+    if (simd) {
+      MatMulTransARowsSimd(a, b, &c, i0, i1);
+    } else {
+      MatMulTransARowsNaive(a, b, &c, i0, i1);
+    }
+  });
+  return c;
+}
+
+Matrix MatMulTransBImpl(const Matrix& a, const Matrix& b) {
+  if (simd::SimdEnabled() && a.rows() >= kPackMinRows) {
+    // Pack once, then run the blocked j-vectorized kernel: each element
+    // still accumulates ascending k, so this matches the naive dot loop
+    // bit for bit while streaming B contiguously.
+    Matrix bt = TransposePacked(b);
+    return MatMulImpl(a, bt, nullptr, Activation::kIdentity);
+  }
+  Matrix c(a.rows(), b.rows());
+  const int64_t grain =
+      RowGrain(a.rows(), static_cast<int64_t>(b.rows()) * a.cols());
+  const bool simd = simd::SimdEnabled();
+  parallel::ParallelFor(0, a.rows(), grain, [&](int64_t r0, int64_t r1) {
+    if (simd) {
+      MatMulTransBRowsDot(a, b, &c, r0, r1);
+    } else {
+      MatMulTransBRowsNaive(a, b, &c, r0, r1);
+    }
+  });
   return c;
 }
 
@@ -130,21 +422,39 @@ Matrix Matrix::Stack(const std::vector<std::vector<float>>& rows) {
 
 void Matrix::Add(const Matrix& other) {
   LCE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // Flat vectorized pass over the padded buffers (same ld by construction):
+  // padding is zero on both sides, so 0 + 0 keeps the invariant.
+  float* LCE_RESTRICT dst = data_.data();
+  const float* LCE_RESTRICT src = other.data_.data();
+  const int64_t n = static_cast<int64_t>(data_.size());
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 void Matrix::Scale(float s) {
-  for (auto& v : data_) v *= s;
+  // Padding stays zero under scaling (0 * s == 0 for finite s).
+  float* LCE_RESTRICT dst = data_.data();
+  const int64_t n = static_cast<int64_t>(data_.size());
+#pragma omp simd
+  for (int64_t i = 0; i < n; ++i) dst[i] *= s;
 }
 
 Result<Matrix> TryMatMul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) return ShapeError("MatMul", a, b);
-  return MatMulImpl(a, b);
+  return MatMulImpl(a, b, nullptr, Activation::kIdentity);
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) LCE_CHECK_OK(ShapeError("MatMul", a, b));
-  return MatMulImpl(a, b);
+  return MatMulImpl(a, b, nullptr, Activation::kIdentity);
+}
+
+Matrix MatMulBiasAct(const Matrix& a, const Matrix& b, const Matrix& bias,
+                     Activation act) {
+  if (a.cols() != b.rows()) LCE_CHECK_OK(ShapeError("MatMulBiasAct", a, b));
+  if (bias.empty()) return MatMulImpl(a, b, nullptr, act);
+  LCE_CHECK(bias.rows() == 1 && bias.cols() == b.cols());
+  return MatMulImpl(a, b, &bias, act);
 }
 
 Result<Matrix> TryMatMulTransA(const Matrix& a, const Matrix& b) {
@@ -168,14 +478,19 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
 }
 
 void AddBiasRow(Matrix* x, const Matrix& bias) {
+  AddBiasRowActivate(x, bias, Activation::kIdentity);
+}
+
+void AddBiasRowActivate(Matrix* x, const Matrix& bias, Activation act) {
   LCE_CHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  // Element-wise: one fused pass is bit-identical to bias-then-activation
+  // passes regardless of LCE_SIMD, so there is no reference variant.
   parallel::ParallelFor(
       0, x->rows(), RowGrain(x->rows(), x->cols()),
       [&](int64_t r0, int64_t r1) {
         const float* b = bias.RowPtr(0);
         for (int64_t r = r0; r < r1; ++r) {
-          float* row = x->RowPtr(static_cast<int>(r));
-          for (int c = 0; c < x->cols(); ++c) row[c] += b[c];
+          EpilogueRow(x->RowPtr(static_cast<int>(r)), b, x->cols(), act);
         }
       });
 }
@@ -185,9 +500,11 @@ Matrix ColMean(const Matrix& x) {
   // Sequential on purpose: the row-accumulation order defines the floating
   // point result, and pooling matrices are small.
   Matrix m(1, x.cols());
+  float* LCE_RESTRICT out = m.RowPtr(0);
   for (int r = 0; r < x.rows(); ++r) {
-    const float* row = x.RowPtr(r);
-    for (int c = 0; c < x.cols(); ++c) m.At(0, c) += row[c];
+    const float* LCE_RESTRICT row = x.RowPtr(r);
+#pragma omp simd
+    for (int c = 0; c < x.cols(); ++c) out[c] += row[c];
   }
   m.Scale(1.0f / static_cast<float>(x.rows()));
   return m;

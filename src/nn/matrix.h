@@ -1,45 +1,120 @@
 // Dense row-major float matrix: the tensor type of the NN substrate.
 //
-// The multiply kernels are row-blocked over the global thread pool (see
-// src/util/parallel.h): output rows are disjoint and every output element
-// accumulates its terms in the same index order as the sequential loop, so
-// results are bit-identical at any thread count.
+// Storage is the kernel layer's contract (DESIGN.md §10): every row starts on
+// a 64-byte boundary (one cache line, one full SSE/AVX/AVX-512 vector) and
+// the leading dimension ld() is cols() rounded up to 16 floats, so the
+// vectorized kernels can issue aligned full-width loads with no scalar tail
+// handling across rows. The padding floats between cols() and ld() are an
+// invariant zero: constructors zero them and every kernel writes only the
+// logical region, so flat checksums over RowPtr(r)[0..cols) are stable and
+// Add/Scale over whole padded rows cannot leak garbage.
+//
+// The multiply kernels dispatch on lce::simd::SimdEnabled() (LCE_SIMD,
+// default on) between a blocked/vectorized path and the naive reference
+// loops. Both paths accumulate every output element's k-terms in the same
+// ascending order, so they are bit-identical to each other and at any thread
+// count (output rows are disjoint across parallel chunks). LCE_FASTMATH=1
+// additionally permits multi-accumulator reductions in the dot-product
+// kernels — faster, but no longer bit-identical; see DESIGN.md §10 for the
+// exactness contract.
 
 #ifndef LCE_NN_MATRIX_H_
 #define LCE_NN_MATRIX_H_
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 #include "src/util/status.h"
 
 namespace lce {
 namespace nn {
 
+/// Allocator returning 64-byte-aligned blocks, so row 0 (and via the padded
+/// leading dimension every later row) sits on a cache-line boundary.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kAlignment));
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+using AlignedFloats = std::vector<float, AlignedAllocator<float>>;
+
+/// Element-wise activations; the functions live in activation.h, the enum
+/// lives here so the fused matmul epilogue can name it.
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
 class Matrix {
  public:
-  Matrix() : rows_(0), cols_(0) {}
+  /// Floats per 64-byte cache line; ld() is cols() rounded up to this.
+  static constexpr int kRowAlignFloats = 16;
+
+  static int PaddedLd(int cols) {
+    return (cols + kRowAlignFloats - 1) / kRowAlignFloats * kRowAlignFloats;
+  }
+
+  Matrix() : rows_(0), cols_(0), ld_(0) {}
   Matrix(int rows, int cols, float fill = 0.0f)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
+      : rows_(rows), cols_(cols), ld_(PaddedLd(cols)),
+        data_(static_cast<size_t>(rows) * ld_, 0.0f) {
     LCE_CHECK(rows >= 0 && cols >= 0);
+    if (fill != 0.0f) Fill(fill);
   }
 
   static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0f); }
 
-  /// He-style Gaussian init scaled by 1/sqrt(fan_in).
+  /// He-style Gaussian init scaled by 1/sqrt(fan_in). Draws one Gaussian per
+  /// logical element in row-major order (padding is untouched), so the weight
+  /// stream for a given seed is independent of the padded layout.
   static Matrix Randn(int rows, int cols, float scale, Rng* rng) {
     Matrix m(rows, cols);
-    for (auto& v : m.data_) v = static_cast<float>(rng->Gaussian()) * scale;
+    for (int r = 0; r < rows; ++r) {
+      float* row = m.RowPtr(r);
+      for (int c = 0; c < cols; ++c) {
+        row[c] = static_cast<float>(rng->Gaussian()) * scale;
+      }
+    }
     return m;
   }
 
   /// Builds a 1 x n row from a float vector.
   static Matrix Row(const std::vector<float>& values) {
-    Matrix m(1, static_cast<int>(values.size()));
-    m.data_ = values;
+    return FromFlat(1, static_cast<int>(values.size()), values);
+  }
+
+  /// Builds a rows x cols matrix from rows*cols values in row-major order.
+  static Matrix FromFlat(int rows, int cols, const std::vector<float>& flat) {
+    LCE_CHECK(flat.size() == static_cast<size_t>(rows) * cols);
+    Matrix m(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+      const float* src = flat.data() + static_cast<size_t>(r) * cols;
+      float* dst = m.RowPtr(r);
+      for (int c = 0; c < cols; ++c) dst[c] = src[c];
+    }
     return m;
   }
 
@@ -52,27 +127,41 @@ class Matrix {
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  /// Row stride in floats: cols() rounded up to a 64-byte multiple.
+  int ld() const { return ld_; }
+  /// Logical element count (excludes padding).
+  size_t size() const { return static_cast<size_t>(rows_) * cols_; }
+  /// Allocated element count (rows() * ld(), includes padding).
+  size_t padded_size() const { return data_.size(); }
+  bool empty() const { return size() == 0; }
 
   float& At(int r, int c) {
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return data_[static_cast<size_t>(r) * ld_ + c];
   }
   float At(int r, int c) const {
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    return data_[static_cast<size_t>(r) * ld_ + c];
   }
 
-  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* RowPtr(int r) { return data_.data() + static_cast<size_t>(r) * ld_; }
   const float* RowPtr(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.data() + static_cast<size_t>(r) * ld_;
   }
 
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  /// The padded backing buffer (rows() * ld() floats, 64-byte aligned).
+  /// Padding floats are zero by invariant; writers must keep them so.
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
 
-  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  /// Fills the logical region; padding stays zero.
+  void Fill(float v) {
+    for (int r = 0; r < rows_; ++r) {
+      float* row = RowPtr(r);
+      for (int c = 0; c < cols_; ++c) row[c] = v;
+    }
+  }
 
-  /// In-place element-wise operations.
+  /// In-place element-wise operations (vectorized over padded rows; the
+  /// all-zero padding is add/scale-invariant, so the invariant holds).
   void Add(const Matrix& other);
   void Scale(float s);
 
@@ -87,10 +176,22 @@ class Matrix {
     return std::vector<float>(RowPtr(r), RowPtr(r) + cols_);
   }
 
+  /// All logical elements (row-major, padding excluded) as a copy. Inverse
+  /// of FromFlat; for tests and whole-matrix inspection, not hot paths.
+  std::vector<float> ToFlat() const {
+    std::vector<float> flat;
+    flat.reserve(size());
+    for (int r = 0; r < rows_; ++r) {
+      flat.insert(flat.end(), RowPtr(r), RowPtr(r) + cols_);
+    }
+    return flat;
+  }
+
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  int ld_;
+  AlignedFloats data_;
 };
 
 /// C = A * B. The abort-on-mismatch forms are for internally-guaranteed
@@ -105,8 +206,21 @@ Result<Matrix> TryMatMulTransA(const Matrix& a, const Matrix& b);
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
 Result<Matrix> TryMatMulTransB(const Matrix& a, const Matrix& b);
 
+/// C = act(A * B + bias): the fused Dense forward. The bias row and the
+/// activation are applied in the matmul epilogue while each output row is
+/// still cache-hot, instead of two further passes over C. `bias` may be
+/// empty (no bias). Bit-identical to MatMul + AddBiasRow + ApplyActivation:
+/// per element, all k-terms accumulate first (ascending), then + bias, then
+/// the activation — the same operation sequence the unfused calls perform.
+Matrix MatMulBiasAct(const Matrix& a, const Matrix& b, const Matrix& bias,
+                     Activation act);
+
 /// y = x + broadcast(bias row) for every row of x (in place).
 void AddBiasRow(Matrix* x, const Matrix& bias);
+
+/// x = act(x + broadcast(bias row)) in one pass (the fused epilogue for
+/// callers that already hold the matmul result, e.g. the RNN cell).
+void AddBiasRowActivate(Matrix* x, const Matrix& bias, Activation act);
 
 /// Column-wise mean: 1 x cols.
 Matrix ColMean(const Matrix& x);

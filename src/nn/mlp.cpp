@@ -16,7 +16,7 @@ Matrix Mlp::Forward(const Matrix& x) {
   outputs_.clear();
   Matrix cur = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    cur = ApplyActivation(acts_[i], layers_[i]->Forward(cur));
+    cur = layers_[i]->Forward(cur, acts_[i]);
     outputs_.push_back(cur);
   }
   return cur;

@@ -23,8 +23,8 @@ Matrix RnnCell::ForwardSequence(const Matrix& seq) {
     Matrix x = Matrix::Row(seq.RowVector(t));
     Matrix pre = MatMul(x, wx_.value);
     pre.Add(MatMul(h, wh_.value));
-    AddBiasRow(&pre, b_.value);
-    h = ApplyActivation(Activation::kTanh, std::move(pre));
+    AddBiasRowActivate(&pre, b_.value, Activation::kTanh);
+    h = std::move(pre);
     hs_.push_back(h);
   }
   return h;
@@ -73,8 +73,8 @@ Matrix LstmCell::ForwardSequence(const Matrix& seq) {
     for (int j = 0; j < hidden_dim_; ++j) {
       step.z.At(0, in_dim_ + j) = h.At(0, j);
     }
-    Matrix pre = MatMul(step.z, w_.value);
-    AddBiasRow(&pre, b_.value);
+    Matrix pre =
+        MatMulBiasAct(step.z, w_.value, b_.value, Activation::kIdentity);
     step.gates = Matrix(1, 4 * hidden_dim_);
     for (int j = 0; j < 4 * hidden_dim_; ++j) {
       float v = pre.At(0, j);

@@ -11,8 +11,12 @@ void SaveParams(const std::vector<Param*>& params, std::ostream* os) {
     int32_t cols = p->value.cols();
     os->write(reinterpret_cast<const char*>(&rows), sizeof(rows));
     os->write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    os->write(reinterpret_cast<const char*>(p->value.data().data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    // Per logical row: storage is padded (matrix.h), the byte stream is not —
+    // the on-disk format is unchanged from the flat-storage era.
+    for (int32_t r = 0; r < rows; ++r) {
+      os->write(reinterpret_cast<const char*>(p->value.RowPtr(r)),
+                static_cast<std::streamsize>(cols * sizeof(float)));
+    }
   }
 }
 
@@ -25,8 +29,10 @@ Status LoadParams(const std::vector<Param*>& params, std::istream* is) {
     if (rows != p->value.rows() || cols != p->value.cols()) {
       return Status::InvalidArgument("parameter shape mismatch");
     }
-    is->read(reinterpret_cast<char*>(p->value.data().data()),
-             static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    for (int32_t r = 0; r < rows; ++r) {
+      is->read(reinterpret_cast<char*>(p->value.RowPtr(r)),
+               static_cast<std::streamsize>(cols * sizeof(float)));
+    }
     if (!*is) return Status::InvalidArgument("truncated parameter stream");
   }
   return Status::OK();

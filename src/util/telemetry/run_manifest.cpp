@@ -137,6 +137,8 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_BENCH_LATENCY_SAMPLES");
   WriteEnvEntry(&w, "LCE_ORACLE_INDEX");
   WriteEnvEntry(&w, "LCE_BITMAP_CACHE_SIZE");
+  WriteEnvEntry(&w, "LCE_SIMD");
+  WriteEnvEntry(&w, "LCE_FASTMATH");
   w.EndObject();
   // Mirrors exec::OracleIndexEnabled()'s env parse (telemetry cannot depend
   // on exec); test-only overrides are not reflected here.
@@ -144,6 +146,15 @@ std::string RunManifestJson(const std::string& bench_name,
     const char* v = std::getenv("LCE_ORACLE_INDEX");
     w.Key("oracle_index_enabled")
         .Value(v == nullptr || std::string_view(v) != "0");
+  }
+  // Mirrors simd::SimdEnabled()/FastMathEnabled()'s env parses (telemetry
+  // cannot depend on the kernel layer); test-only overrides not reflected.
+  {
+    const char* v = std::getenv("LCE_SIMD");
+    w.Key("simd_enabled").Value(v == nullptr || std::string_view(v) != "0");
+    const char* f = std::getenv("LCE_FASTMATH");
+    w.Key("fastmath_enabled")
+        .Value(f != nullptr && *f != '\0' && std::string_view(f) != "0");
   }
   w.Key("metrics_enabled").Value(MetricsEnabled());
   w.Key("trace_path");

@@ -1,0 +1,141 @@
+// Bit-identity of the batched (SoA, level-synchronous) GBDT inference path
+// against per-row Predict(), on a randomized ensemble, across LCE_SIMD
+// settings and thread counts — plus the LW-XGB EstimateBatch wiring.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/ce/query_driven/lwxgb_model.h"
+#include "src/gbdt/gbdt.h"
+#include "src/storage/datagen.h"
+#include "src/util/parallel.h"
+#include "src/util/rng.h"
+#include "src/util/simd.h"
+#include "src/workload/generator.h"
+
+namespace lce {
+namespace gbdt {
+namespace {
+
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    simd::SetSimdEnabledForTesting(-1);
+    parallel::SetThreadCountForTesting(0);
+  }
+};
+
+uint32_t BitsOf(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+// A nonlinear multi-feature problem so trees split on every feature and
+// reach varied depths (including some single-leaf trees late in boosting).
+void MakeProblem(int n, std::vector<std::vector<float>>* rows,
+                 std::vector<float>* targets) {
+  Rng rng(17);
+  for (int i = 0; i < n; ++i) {
+    float a = static_cast<float>(rng.Uniform());
+    float b = static_cast<float>(rng.Uniform(-2, 2));
+    float c = static_cast<float>(rng.Gaussian());
+    rows->push_back({a, b, c});
+    targets->push_back(std::sin(5 * a) + 0.5f * b * std::abs(c));
+  }
+}
+
+TEST(GbdtBatchTest, PredictBatchIsBitIdenticalToPredict) {
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  MakeProblem(900, &rows, &targets);
+  GradientBoosting::Options opts;
+  opts.num_trees = 48;
+  GradientBoosting model(opts);
+  model.Fit(rows, targets);
+
+  // Per-row reference under the naive path.
+  KernelEnvGuard guard;
+  simd::SetSimdEnabledForTesting(0);
+  std::vector<float> reference;
+  for (const auto& row : rows) reference.push_back(model.Predict(row));
+
+  for (int threads : {1, 4}) {
+    parallel::SetThreadCountForTesting(threads);
+    for (int simd_on : {0, 1}) {
+      simd::SetSimdEnabledForTesting(simd_on);
+      std::vector<float> batch = model.PredictBatch(rows);
+      ASSERT_EQ(batch.size(), reference.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(BitsOf(batch[i]), BitsOf(reference[i]))
+            << "row " << i << " simd=" << simd_on << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(GbdtBatchTest, TrainingIsBitIdenticalAcrossSimdSettings) {
+  // AddTrees replays predictions through the batched traversal when SIMD is
+  // on; the fitted ensembles must still match the naive path bit for bit.
+  std::vector<std::vector<float>> rows;
+  std::vector<float> targets;
+  MakeProblem(600, &rows, &targets);
+  GradientBoosting::Options opts;
+  opts.num_trees = 24;
+
+  KernelEnvGuard guard;
+  auto fit_and_predict = [&] {
+    GradientBoosting model(opts);
+    model.Fit(rows, targets);
+    model.Boost(rows, targets, 8);  // incremental path replays the ensemble
+    std::vector<float> preds;
+    for (const auto& row : rows) preds.push_back(model.Predict(row));
+    return preds;
+  };
+  simd::SetSimdEnabledForTesting(0);
+  std::vector<float> naive = fit_and_predict();
+  simd::SetSimdEnabledForTesting(1);
+  std::vector<float> batched = fit_and_predict();
+  for (size_t i = 0; i < naive.size(); ++i) {
+    ASSERT_EQ(BitsOf(naive[i]), BitsOf(batched[i])) << "row " << i;
+  }
+}
+
+TEST(GbdtBatchTest, SingleLeafEnsembleAndSingleRowWork) {
+  // Constant targets: every tree is one self-looping leaf (levels == 0).
+  std::vector<std::vector<float>> rows(40, {1.0f, 2.0f});
+  std::vector<float> targets(40, 3.25f);
+  GradientBoosting model;
+  model.Fit(rows, targets);
+  std::vector<float> batch =
+      model.PredictBatch({{1.0f, 2.0f}});  // single row < block size
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(BitsOf(batch[0]), BitsOf(model.Predict({1.0f, 2.0f})));
+}
+
+TEST(GbdtBatchTest, LwXgbEstimateBatchMatchesPerQuery) {
+  auto db = storage::datagen::Generate(storage::datagen::ImdbLikeSpec(0.02), 1);
+  workload::WorkloadOptions wopts;
+  wopts.max_joins = 2;
+  workload::WorkloadGenerator gen(db.get(), wopts);
+  Rng rng(7);
+  auto labeled = gen.GenerateLabeled(60, &rng);
+
+  ce::LwXgbEstimator est;
+  ASSERT_TRUE(est.Build(*db, labeled).ok());
+
+  std::vector<query::Query> queries;
+  for (const auto& lq : labeled) queries.push_back(lq.q);
+  std::vector<double> batch = est.EstimateBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], est.EstimateCardinality(queries[i])) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gbdt
+}  // namespace lce

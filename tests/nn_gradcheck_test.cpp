@@ -19,6 +19,19 @@ namespace {
 constexpr float kEps = 1e-3f;
 constexpr float kTol = 2e-2f;  // relative tolerance (float32 + ReLU kinks)
 
+// Element access by flat logical index (storage is padded; see matrix.h).
+float& ElemAt(Matrix& m, size_t i) {
+  return m.At(static_cast<int>(i / m.cols()), static_cast<int>(i % m.cols()));
+}
+
+double SumElems(const Matrix& m) {
+  double s = 0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) s += m.At(r, c);
+  }
+  return s;
+}
+
 // Checks d(loss)/d(param) for every parameter element against finite
 // differences. `forward` must recompute the scalar loss from scratch;
 // `backward` must populate gradients for a single evaluation.
@@ -30,14 +43,14 @@ void CheckParamGradients(const std::vector<Param*>& params,
   int checked = 0;
   for (Param* p : params) {
     for (size_t i = 0; i < p->value.size() && checked < 200; ++i, ++checked) {
-      float original = p->value.data()[i];
-      p->value.data()[i] = original + kEps;
+      float original = ElemAt(p->value, i);
+      ElemAt(p->value, i) = original + kEps;
       double up = forward();
-      p->value.data()[i] = original - kEps;
+      ElemAt(p->value, i) = original - kEps;
       double down = forward();
-      p->value.data()[i] = original;
+      ElemAt(p->value, i) = original;
       double numeric = (up - down) / (2.0 * kEps);
-      double analytic = p->grad.data()[i];
+      double analytic = ElemAt(p->grad, i);
       // Floor keeps float32 finite-difference noise (~1e-4 on deep chains
       // like BPTT) from failing checks of near-zero gradients.
       double scale = std::max({std::abs(numeric), std::abs(analytic), 1e-2});
@@ -53,10 +66,7 @@ TEST(GradCheckTest, DenseLayer) {
   Matrix x = Matrix::Randn(2, 4, 1.0f, &rng);
   // Loss = sum of outputs (gradient of ones).
   auto forward = [&]() {
-    Matrix y = dense.Forward(x);
-    double s = 0;
-    for (float v : y.data()) s += v;
-    return s;
+    return SumElems(dense.Forward(x));
   };
   auto backward = [&]() {
     Matrix y = dense.Forward(x);
@@ -91,12 +101,14 @@ TEST(GradCheckTest, MlpInputGradient) {
   auto loss_of = [&](const Matrix& input) {
     Matrix y = mlp.Forward(input);
     double s = 0;
-    for (float v : y.data()) s += v * v;
+    for (float v : y.ToFlat()) s += v * v;
     return s;
   };
   Matrix y = mlp.Forward(x);
   Matrix dy(y.rows(), y.cols());
-  for (size_t i = 0; i < y.size(); ++i) dy.data()[i] = 2.0f * y.data()[i];
+  for (size_t i = 0; i < y.size(); ++i) {
+    ElemAt(dy, i) = 2.0f * ElemAt(y, i);
+  }
   Matrix dx = mlp.Backward(dy);
   for (int c = 0; c < x.cols(); ++c) {
     Matrix xp = x, xm = x;
@@ -115,10 +127,7 @@ TEST(GradCheckTest, RnnCellThroughTime) {
   RnnCell cell(3, 5, &rng);
   Matrix seq = Matrix::Randn(4, 3, 1.0f, &rng);
   auto forward = [&]() {
-    Matrix h = cell.ForwardSequence(seq);
-    double s = 0;
-    for (float v : h.data()) s += v;
-    return s;
+    return SumElems(cell.ForwardSequence(seq));
   };
   auto backward = [&]() {
     Matrix h = cell.ForwardSequence(seq);
@@ -133,10 +142,7 @@ TEST(GradCheckTest, LstmCellThroughTime) {
   LstmCell cell(3, 4, &rng);
   Matrix seq = Matrix::Randn(5, 3, 1.0f, &rng);
   auto forward = [&]() {
-    Matrix h = cell.ForwardSequence(seq);
-    double s = 0;
-    for (float v : h.data()) s += v;
-    return s;
+    return SumElems(cell.ForwardSequence(seq));
   };
   auto backward = [&]() {
     Matrix h = cell.ForwardSequence(seq);

@@ -1,0 +1,259 @@
+// Randomized equivalence of the vectorized kernel layer against the naive
+// reference path (LCE_SIMD=0), asserting the DESIGN.md §10 exactness
+// contract: the default build is BIT-identical to the reference on every
+// input, at every thread count, for every shape — including degenerate ones
+// (1xN, Nx1, odd tails past the 4-row panels and 16-float padding).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/activation.h"
+#include "src/nn/adam.h"
+#include "src/nn/matrix.h"
+#include "src/nn/mlp.h"
+#include "src/util/parallel.h"
+#include "src/util/simd.h"
+
+namespace lce {
+namespace nn {
+namespace {
+
+// Restores both kernel knobs and the pool size on scope exit, so a failing
+// assertion cannot leak state into later tests.
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    simd::SetSimdEnabledForTesting(-1);
+    simd::SetFastMathEnabledForTesting(-1);
+    parallel::SetThreadCountForTesting(0);
+  }
+};
+
+// Bit pattern of every logical element; NaNs compare equal to themselves.
+std::vector<uint32_t> Bits(const Matrix& m) {
+  std::vector<float> flat = m.ToFlat();
+  std::vector<uint32_t> bits(flat.size());
+  static_assert(sizeof(float) == sizeof(uint32_t));
+  std::memcpy(bits.data(), flat.data(), flat.size() * sizeof(float));
+  return bits;
+}
+
+// Dense Gaussian values with a sprinkle of exact zeros (the removed
+// `av == 0.0f` skip must not resurface as a behavioral difference).
+Matrix RandomMatrix(int rows, int cols, Rng* rng) {
+  Matrix m = Matrix::Randn(rows, cols, 1.0f, rng);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (rng->UniformInt(0, 9) == 0) m.At(r, c) = 0.0f;
+    }
+  }
+  return m;
+}
+
+struct Shape {
+  int m, k, n;
+};
+
+// Panel multiples, odd tails, vectors, and padding-boundary sizes.
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},    {7, 1, 7},    {1, 384, 48}, {48, 384, 1},
+    {4, 16, 16}, {5, 17, 19},  {8, 33, 15},  {16, 16, 16}, {13, 64, 31},
+    {64, 48, 9}, {33, 47, 63}, {96, 96, 96},
+};
+
+const int kThreadCounts[] = {1, 4};
+
+template <typename Op>
+void ExpectBitIdenticalAcrossPaths(const char* what, const Op& op) {
+  KernelEnvGuard guard;
+  for (int threads : kThreadCounts) {
+    parallel::SetThreadCountForTesting(threads);
+    simd::SetSimdEnabledForTesting(0);
+    Matrix reference = op();
+    simd::SetSimdEnabledForTesting(1);
+    Matrix fast = op();
+    ASSERT_EQ(reference.rows(), fast.rows()) << what;
+    ASSERT_EQ(reference.cols(), fast.cols()) << what;
+    EXPECT_EQ(Bits(reference), Bits(fast))
+        << what << " diverges at " << threads << " threads";
+  }
+}
+
+TEST(KernelEquivalenceTest, MatMulMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    Rng rng(s.m * 10007 + s.k * 101 + s.n);
+    Matrix a = RandomMatrix(s.m, s.k, &rng);
+    Matrix b = RandomMatrix(s.k, s.n, &rng);
+    ExpectBitIdenticalAcrossPaths("MatMul", [&] { return MatMul(a, b); });
+  }
+}
+
+TEST(KernelEquivalenceTest, MatMulTransAMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    Rng rng(s.m * 7919 + s.k * 211 + s.n);
+    Matrix a = RandomMatrix(s.k, s.m, &rng);  // A^T is m x k
+    Matrix b = RandomMatrix(s.k, s.n, &rng);
+    ExpectBitIdenticalAcrossPaths("MatMulTransA",
+                                  [&] { return MatMulTransA(a, b); });
+  }
+}
+
+TEST(KernelEquivalenceTest, MatMulTransBMatchesNaiveBitwise) {
+  for (const Shape& s : kShapes) {
+    Rng rng(s.m * 6007 + s.k * 307 + s.n);
+    Matrix a = RandomMatrix(s.m, s.k, &rng);
+    Matrix b = RandomMatrix(s.n, s.k, &rng);  // B^T is k x n
+    ExpectBitIdenticalAcrossPaths("MatMulTransB",
+                                  [&] { return MatMulTransB(a, b); });
+  }
+}
+
+TEST(KernelEquivalenceTest, FusedBiasActivationMatchesUnfusedBitwise) {
+  const Activation kActs[] = {Activation::kIdentity, Activation::kRelu,
+                              Activation::kSigmoid, Activation::kTanh};
+  for (const Shape& s : kShapes) {
+    for (Activation act : kActs) {
+      Rng rng(s.m * 31 + s.k * 17 + s.n * 13 + static_cast<int>(act));
+      Matrix a = RandomMatrix(s.m, s.k, &rng);
+      Matrix b = RandomMatrix(s.k, s.n, &rng);
+      Matrix bias = RandomMatrix(1, s.n, &rng);
+      // Fused vs the three separate passes, under the same kernel path.
+      KernelEnvGuard guard;
+      for (int simd_on : {0, 1}) {
+        simd::SetSimdEnabledForTesting(simd_on);
+        Matrix fused = MatMulBiasAct(a, b, bias, act);
+        Matrix unfused = MatMul(a, b);
+        AddBiasRow(&unfused, bias);
+        unfused = ApplyActivation(act, std::move(unfused));
+        EXPECT_EQ(Bits(fused), Bits(unfused))
+            << "fused epilogue diverges, simd=" << simd_on;
+      }
+      // And the fused op itself across paths.
+      ExpectBitIdenticalAcrossPaths(
+          "MatMulBiasAct", [&] { return MatMulBiasAct(a, b, bias, act); });
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, AddBiasRowActivateMatchesSeparatePasses) {
+  Rng rng(99);
+  Matrix x = RandomMatrix(9, 37, &rng);
+  Matrix bias = RandomMatrix(1, 37, &rng);
+  for (Activation act : {Activation::kRelu, Activation::kTanh}) {
+    Matrix fused = x;
+    AddBiasRowActivate(&fused, bias, act);
+    Matrix unfused = x;
+    AddBiasRow(&unfused, bias);
+    unfused = ApplyActivation(act, std::move(unfused));
+    EXPECT_EQ(Bits(fused), Bits(unfused));
+  }
+}
+
+TEST(KernelEquivalenceTest, ElementwiseOpsPreservePaddingAndValues) {
+  Rng rng(7);
+  // Odd width: 2 padding floats per row behind the 14 logical columns.
+  Matrix a = RandomMatrix(5, 14, &rng);
+  Matrix b = RandomMatrix(5, 14, &rng);
+  std::vector<float> expected(a.size());
+  {
+    std::vector<float> fa = a.ToFlat(), fb = b.ToFlat();
+    for (size_t i = 0; i < fa.size(); ++i) expected[i] = (fa[i] + fb[i]) * 0.5f;
+  }
+  a.Add(b);
+  a.Scale(0.5f);
+  EXPECT_EQ(a.ToFlat(), expected);
+  // Padding must still be zero everywhere (checksum stability contract).
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = a.cols(); c < a.ld(); ++c) {
+      EXPECT_EQ(a.RowPtr(r)[c], 0.0f) << "padding dirtied at " << r;
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, RowsAre64ByteAligned) {
+  Matrix m(3, 5);
+  for (int r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.RowPtr(r)) % 64, 0u);
+  }
+  EXPECT_EQ(m.ld(), 16);
+  EXPECT_EQ(m.padded_size(), 48u);
+  EXPECT_EQ(m.size(), 15u);
+}
+
+TEST(KernelEquivalenceTest, NanPropagatesThroughZeroWeights) {
+  // The old kernels skipped av == 0.0f and silently dropped NaN rows of B;
+  // both paths must now agree AND propagate (0 * NaN == NaN).
+  Matrix a = Matrix::FromFlat(1, 2, {0.0f, 1.0f});
+  Matrix b = Matrix::FromFlat(
+      2, 2, {std::numeric_limits<float>::quiet_NaN(), 2.0f, 3.0f, 4.0f});
+  KernelEnvGuard guard;
+  for (int simd_on : {0, 1}) {
+    simd::SetSimdEnabledForTesting(simd_on);
+    Matrix c = MatMul(a, b);
+    EXPECT_TRUE(std::isnan(c.At(0, 0))) << "simd=" << simd_on;
+    EXPECT_FLOAT_EQ(c.At(0, 1), 4.0f);  // 0*2 + 1*4
+  }
+}
+
+// End-to-end: a full training run (forward, backward, Adam) lands on
+// bit-identical weights with the vectorized and reference kernels, at 1 and
+// 4 threads — the estimator-zoo guarantee in miniature.
+TEST(KernelEquivalenceTest, MlpTrainingIsBitIdenticalAcrossPaths) {
+  KernelEnvGuard guard;
+  auto train = [] {
+    Rng rng(42);
+    Mlp mlp({7, 16, 5, 1}, Activation::kRelu, Activation::kSigmoid, &rng);
+    Adam adam(1e-2f);
+    Matrix x = Matrix::Randn(12, 7, 1.0f, &rng);
+    for (int step = 0; step < 10; ++step) {
+      Matrix y = mlp.Forward(x);
+      Matrix dy(y.rows(), y.cols(), 1.0f);
+      mlp.Backward(dy);
+      adam.Step(mlp.Params());
+    }
+    std::vector<uint32_t> bits;
+    for (Param* p : mlp.Params()) {
+      std::vector<uint32_t> b = Bits(p->value);
+      bits.insert(bits.end(), b.begin(), b.end());
+    }
+    return bits;
+  };
+  simd::SetSimdEnabledForTesting(0);
+  parallel::SetThreadCountForTesting(1);
+  std::vector<uint32_t> reference = train();
+  for (int threads : kThreadCounts) {
+    parallel::SetThreadCountForTesting(threads);
+    simd::SetSimdEnabledForTesting(1);
+    EXPECT_EQ(reference, train()) << "threads=" << threads;
+    simd::SetSimdEnabledForTesting(0);
+    EXPECT_EQ(reference, train()) << "naive threads=" << threads;
+  }
+}
+
+// LCE_FASTMATH reorders dot-product accumulation: not bit-identical (that is
+// the documented trade), but it must stay numerically close.
+TEST(KernelEquivalenceTest, FastMathTransBIsCloseButUnordered) {
+  KernelEnvGuard guard;
+  Rng rng(5);
+  Matrix a = RandomMatrix(3, 257, &rng);
+  Matrix b = RandomMatrix(5, 257, &rng);
+  simd::SetSimdEnabledForTesting(1);
+  simd::SetFastMathEnabledForTesting(0);
+  Matrix exact = MatMulTransB(a, b);
+  simd::SetFastMathEnabledForTesting(1);
+  Matrix fast = MatMulTransB(a, b);
+  for (int r = 0; r < exact.rows(); ++r) {
+    for (int c = 0; c < exact.cols(); ++c) {
+      EXPECT_NEAR(fast.At(r, c), exact.At(r, c),
+                  1e-4 * (1.0 + std::abs(exact.At(r, c))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace lce

@@ -7,9 +7,7 @@ namespace nn {
 namespace {
 
 Matrix Fill(int rows, int cols, std::vector<float> values) {
-  Matrix m(rows, cols);
-  m.data() = std::move(values);
-  return m;
+  return Matrix::FromFlat(rows, cols, values);
 }
 
 TEST(MatrixTest, MatMulAgainstHandComputed) {

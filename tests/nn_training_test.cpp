@@ -54,7 +54,7 @@ TEST(TrainingTest, AdamZeroesGradientsAfterStep) {
   Adam adam(1e-3f);
   adam.Step(mlp.Params());
   for (Param* p : mlp.Params()) {
-    for (float g : p->grad.data()) EXPECT_FLOAT_EQ(g, 0.0f);
+    for (float g : p->grad.ToFlat()) EXPECT_FLOAT_EQ(g, 0.0f);
   }
 }
 
@@ -63,8 +63,8 @@ TEST(TrainingTest, AdamStepChangesParameters) {
   Mlp mlp({2, 3, 1}, Activation::kTanh, Activation::kIdentity, &rng);
   std::vector<float> before;
   for (Param* p : mlp.Params()) {
-    before.insert(before.end(), p->value.data().begin(),
-                  p->value.data().end());
+    std::vector<float> flat = p->value.ToFlat();
+    before.insert(before.end(), flat.begin(), flat.end());
   }
   Matrix x = Matrix::Randn(4, 2, 1.0f, &rng);
   mlp.Forward(x);
@@ -74,7 +74,8 @@ TEST(TrainingTest, AdamStepChangesParameters) {
   adam.Step(mlp.Params());
   std::vector<float> after;
   for (Param* p : mlp.Params()) {
-    after.insert(after.end(), p->value.data().begin(), p->value.data().end());
+    std::vector<float> flat = p->value.ToFlat();
+    after.insert(after.end(), flat.begin(), flat.end());
   }
   EXPECT_NE(before, after);
 }
@@ -92,8 +93,10 @@ TEST(SerializeTest, RoundTripRestoresOutputs) {
   Mlp restored({3, 8, 1}, Activation::kRelu, Activation::kSigmoid, &rng2);
   ASSERT_TRUE(LoadParams(restored.Params(), &buffer).ok());
   Matrix y_after = restored.Forward(x);
-  for (size_t i = 0; i < y_before.size(); ++i) {
-    EXPECT_FLOAT_EQ(y_before.data()[i], y_after.data()[i]);
+  std::vector<float> flat_before = y_before.ToFlat();
+  std::vector<float> flat_after = y_after.ToFlat();
+  for (size_t i = 0; i < flat_before.size(); ++i) {
+    EXPECT_FLOAT_EQ(flat_before[i], flat_after[i]);
   }
 }
 
