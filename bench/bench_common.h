@@ -22,6 +22,7 @@
 #include "src/util/table_printer.h"
 #include "src/util/telemetry/memory.h"
 #include "src/util/telemetry/model_card.h"
+#include "src/util/telemetry/profiler.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/run_manifest.h"
 #include "src/util/telemetry/telemetry.h"
@@ -191,6 +192,7 @@ inline EstimatorRun RunEstimator(const std::string& name, const BenchDb& bench,
 class BenchRun {
  public:
   explicit BenchRun(std::string name) : name_(std::move(name)) {
+    telemetry::SetCurrentThreadName("main");
     LCE_LOG(INFO) << "bench " << name_ << " starting (commit "
                   << telemetry::BuildGitCommit() << ", "
                   << parallel::ThreadCount() << " threads)";
@@ -202,6 +204,7 @@ class BenchRun {
         BenchOutPath("BENCH_manifest_" + name_ + ".json"), name_,
         timer_.ElapsedSeconds());
     telemetry::WriteTraceIfEnabled();
+    telemetry::WriteProfileIfEnabled();
   }
   BenchRun(const BenchRun&) = delete;
   BenchRun& operator=(const BenchRun&) = delete;

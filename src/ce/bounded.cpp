@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -30,8 +31,14 @@ Status BoundedEstimator::Build(
 }
 
 double BoundedEstimator::EstimateCardinality(const query::Query& q) {
+  // The wrapped estimators open their own stage timers; the innermost-timer
+  // stack attributes their stages to themselves, and this timer keeps the
+  // clamp arithmetic under this estimator's name.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   double inner = inner_->EstimateCardinality(q);
   double reference = reference_->EstimateCardinality(q);
+  stages.Stage("postprocess");
   double lo = std::max(1.0, reference / envelope_);
   double hi = reference * envelope_;
   return std::clamp(inner, lo, hi);

@@ -6,6 +6,7 @@
 #include "src/ce/edge_selectivity.h"
 #include "src/ce/join_formula.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/train_log.h"
 
@@ -300,6 +301,9 @@ double BayesNetEstimator::EstimateWithDiagnostics(const query::Query& q,
 double BayesNetEstimator::EstimateImpl(const query::Query& q,
                                        ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // Message passing over per-table networks plus the join formula.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>
         ranges(schema_->tables[t].columns.size());

@@ -7,6 +7,7 @@
 #include "src/ce/join_formula.h"
 #include "src/nn/adam.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/train_log.h"
 
@@ -284,6 +285,9 @@ double NaruEstimator::EstimateWithDiagnostics(const query::Query& q,
 
 double NaruEstimator::EstimateImpl(const query::Query& q, ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // Progressive sampling is dominated by autoregressive forward passes.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("forward");
   NaruSamplingStats total;
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>

@@ -7,6 +7,7 @@
 #include "src/ce/join_formula.h"
 #include "src/util/logging.h"
 #include "src/util/stats.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/train_log.h"
 
@@ -351,6 +352,9 @@ double SpnEstimator::EstimateWithDiagnostics(const query::Query& q,
 
 double SpnEstimator::EstimateImpl(const query::Query& q, ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // The whole estimate is circuit traversal plus the join formula.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   SpnEvalStats total;
   auto filtered_rows = [&](int t) {
     std::vector<std::optional<std::pair<storage::Value, storage::Value>>>

@@ -50,6 +50,11 @@ class Estimator {
     return out;
   }
 
+  /// True when EstimateBatch() is a genuinely vectorized override rather
+  /// than the default loop. Batch-aware callers (accuracy evaluation) use
+  /// this to pick the batched path over per-query parallelism.
+  virtual bool HasBatchEstimate() const { return false; }
+
   /// EstimateCardinality() plus diagnostics: fills `rec` with the estimator
   /// name, query shape, and — where the estimator overrides this — the
   /// per-predicate selectivity breakdown, fallback events, and

@@ -19,6 +19,10 @@ void ValueOrNull(JsonWriter* w, double v) {
 
 std::string ExplainRecord::ToJsonLine() const {
   std::string out;
+  // A typical record runs 600-900 bytes; one allocation instead of the
+  // doubling walk matters at one-line-per-query rates.
+  out.reserve(512 + 96 * predicates.size() + 64 * fallbacks.size() +
+              48 * counters.size());
   JsonWriter w(&out, JsonWriter::Style::kCompact);
   w.BeginObject();
   w.Key("estimator").Value(estimator);

@@ -1,5 +1,7 @@
 #include "src/ce/query_driven/flat_models.h"
 
+#include "src/util/telemetry/stage_timer.h"
+
 namespace lce {
 namespace ce {
 
@@ -11,8 +13,12 @@ void LinearEstimator::InitModel(Rng* rng) {
 }
 
 float LinearEstimator::ForwardOne(const query::Query& q) {
-  nn::Matrix x =
-      nn::Matrix::Row(encoder().FlatEncode(q, options_.flat_variant));
+  telemetry::StageTimer::Mark("encode");
+  // Kept in a member so FillEncodingDiagnostics reuses it (no second encode
+  // per logged query); move-assignment recycles the buffer across calls.
+  last_flat_ = encoder().FlatEncode(q, options_.flat_variant);
+  nn::Matrix x = nn::Matrix::Row(last_flat_);
+  telemetry::StageTimer::Mark("forward");
   return net_->Forward(x).Scalar();
 }
 
@@ -34,8 +40,10 @@ void FcnEstimator::InitModel(Rng* rng) {
 }
 
 float FcnEstimator::ForwardOne(const query::Query& q) {
-  nn::Matrix x =
-      nn::Matrix::Row(encoder().FlatEncode(q, options_.flat_variant));
+  telemetry::StageTimer::Mark("encode");
+  last_flat_ = encoder().FlatEncode(q, options_.flat_variant);
+  nn::Matrix x = nn::Matrix::Row(last_flat_);
+  telemetry::StageTimer::Mark("forward");
   return net_->Forward(x).Scalar();
 }
 

@@ -27,9 +27,14 @@ class LinearEstimator : public NeuralQueryDrivenEstimator {
   void BackwardOne(float dpred) override;
   std::vector<nn::Param*> Params() override { return net_->Params(); }
   size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }
+  void FillEncodingDiagnostics(const query::Query& /*q*/,
+                               ExplainRecord* rec) override {
+    AddFeatureStats(last_flat_, rec);  // ForwardOne just produced it
+  }
 
  private:
   std::unique_ptr<nn::Mlp> net_;
+  std::vector<float> last_flat_;  // encoding of the last ForwardOne query
 };
 
 /// Fully-connected network over the flat encoding (Dutt et al.'s LW-NN /
@@ -46,9 +51,14 @@ class FcnEstimator : public NeuralQueryDrivenEstimator {
   void BackwardOne(float dpred) override;
   std::vector<nn::Param*> Params() override { return net_->Params(); }
   size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }
+  void FillEncodingDiagnostics(const query::Query& /*q*/,
+                               ExplainRecord* rec) override {
+    AddFeatureStats(last_flat_, rec);  // ForwardOne just produced it
+  }
 
  private:
   std::unique_ptr<nn::Mlp> net_;
+  std::vector<float> last_flat_;  // encoding of the last ForwardOne query
 };
 
 }  // namespace ce

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -36,19 +37,31 @@ Status LwXgbEstimator::Build(
 
 double LwXgbEstimator::EstimateCardinality(const query::Query& q) {
   LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateCardinality()");
-  float y = model_->Predict(encoder_->FlatEncode(q, options_.flat_variant));
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("encode");
+  std::vector<float> row = encoder_->FlatEncode(q, options_.flat_variant);
+  stages.Stage("traverse");
+  float y = model_->Predict(row);
+  stages.Stage("postprocess");
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
 std::vector<double> LwXgbEstimator::EstimateBatch(
     const std::vector<query::Query>& queries) {
   LCE_CHECK_MSG(model_ != nullptr, "Build() before EstimateBatch()");
+  // Batched stages: histograms record per-query microseconds weighted by
+  // the batch size, so batch and per-query paths share one scale.
+  telemetry::StageTimer stages([this] { return Name(); },
+                               static_cast<uint64_t>(queries.size()));
+  stages.Stage("encode");
   std::vector<std::vector<float>> rows;
   rows.reserve(queries.size());
   for (const query::Query& q : queries) {
     rows.push_back(encoder_->FlatEncode(q, options_.flat_variant));
   }
+  stages.Stage("traverse");
   std::vector<float> preds = model_->PredictBatch(rows);
+  stages.Stage("postprocess");
   std::vector<double> out;
   out.reserve(preds.size());
   for (float y : preds) {
@@ -67,9 +80,13 @@ double LwXgbEstimator::EstimateWithDiagnostics(const query::Query& q,
     rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi, -1.0,
                                "gbdt"});
   }
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("encode");
+  std::vector<float> row = encoder_->FlatEncode(q, options_.flat_variant);
+  stages.Stage("traverse");
   gbdt::GradientBoosting::PredictStats stats;
-  float y = model_->PredictWithStats(
-      encoder_->FlatEncode(q, options_.flat_variant), &stats);
+  float y = model_->PredictWithStats(row, &stats);
+  stages.Stage("postprocess");
   float clamped = std::clamp(y, 0.0f, 1.0f);
   double est = encoder_->DenormalizeLog(clamped);
   rec->AddCounter("pred_normalized", static_cast<double>(y));

@@ -36,6 +36,7 @@ class LwXgbEstimator : public Estimator {
   /// PredictBatch() over the SoA forest. Bit-identical to the per-query path.
   std::vector<double> EstimateBatch(
       const std::vector<query::Query>& queries) override;
+  bool HasBatchEstimate() const override { return true; }
   double EstimateWithDiagnostics(const query::Query& q,
                                  ExplainRecord* rec) override;
   Status UpdateWithQueries(

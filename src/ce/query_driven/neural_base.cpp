@@ -7,6 +7,7 @@
 
 #include "src/nn/serialize.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
 #include "src/util/telemetry/train_log.h"
@@ -161,7 +162,11 @@ double NeuralQueryDrivenEstimator::RunEpoch(
 
 double NeuralQueryDrivenEstimator::EstimateCardinality(const query::Query& q) {
   LCE_CHECK_MSG(built_, Name() << ": Build() before EstimateCardinality()");
+  // Stage decomposition: ForwardOne marks encode/forward; the denormalize
+  // tail is postprocess.
+  telemetry::StageTimer stages([this] { return Name(); });
   float y = ForwardOne(q);
+  telemetry::StageTimer::Mark("postprocess");
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
@@ -175,23 +180,18 @@ double NeuralQueryDrivenEstimator::EstimateWithDiagnostics(
     rec->predicates.push_back({p.col.table, p.col.column, p.lo, p.hi, -1.0,
                                "learned"});
   }
-  float y = ForwardOne(q);
-  float clamped = std::clamp(y, 0.0f, 1.0f);
-  double est = encoder_->DenormalizeLog(clamped);
-
-  // Featurization stats from a fresh (read-only) encoding of the same query;
-  // ForwardOne's cached activations and the estimate are untouched.
-  std::vector<float> feat = encoder_->FlatEncode(q, options_.flat_variant);
-  double l2 = 0;
-  int nonzeros = 0;
-  for (float f : feat) {
-    l2 += static_cast<double>(f) * f;
-    if (f != 0.0f) ++nonzeros;
+  double est;
+  float y, clamped;
+  {
+    telemetry::StageTimer stages([this] { return Name(); });
+    y = ForwardOne(q);
+    telemetry::StageTimer::Mark("postprocess");
+    clamped = std::clamp(y, 0.0f, 1.0f);
+    est = encoder_->DenormalizeLog(clamped);
   }
+
   rec->AddCounter("pred_normalized", static_cast<double>(y));
-  rec->AddCounter("feat_dim", static_cast<double>(feat.size()));
-  rec->AddCounter("feat_nonzeros", static_cast<double>(nonzeros));
-  rec->AddCounter("feat_l2", std::sqrt(l2));
+  FillEncodingDiagnostics(q, rec);
   if (y != clamped) {
     rec->AddFallback("nn.output_clamped",
                      "sigmoid output " + std::to_string(y) +
@@ -199,6 +199,26 @@ double NeuralQueryDrivenEstimator::EstimateWithDiagnostics(
   }
   rec->estimate = est;
   return est;
+}
+
+void NeuralQueryDrivenEstimator::FillEncodingDiagnostics(const query::Query& q,
+                                                         ExplainRecord* rec) {
+  // Featurization stats from a fresh (read-only) encoding of the same query;
+  // ForwardOne's cached activations and the estimate are untouched.
+  AddFeatureStats(encoder_->FlatEncode(q, options_.flat_variant), rec);
+}
+
+void NeuralQueryDrivenEstimator::AddFeatureStats(const std::vector<float>& feat,
+                                                 ExplainRecord* rec) {
+  double l2 = 0;
+  int nonzeros = 0;
+  for (float f : feat) {
+    l2 += static_cast<double>(f) * f;
+    if (f != 0.0f) ++nonzeros;
+  }
+  rec->AddCounter("feat_dim", static_cast<double>(feat.size()));
+  rec->AddCounter("feat_nonzeros", static_cast<double>(nonzeros));
+  rec->AddCounter("feat_l2", std::sqrt(l2));
 }
 
 Status NeuralQueryDrivenEstimator::UpdateWithQueries(

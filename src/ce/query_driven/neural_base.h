@@ -84,6 +84,17 @@ class NeuralQueryDrivenEstimator : public Estimator {
   // duplication in subclasses would be noisy, so expose a count instead.
   virtual size_t NumParams() const = 0;
 
+  /// Featurization stats (feat_dim/feat_nonzeros/feat_l2) for
+  /// EstimateWithDiagnostics, called right after ForwardOne. The default
+  /// re-encodes the query flat; models whose forward already consumes the
+  /// flat encoding override it to reuse that vector instead of paying a
+  /// second encode on every logged query.
+  virtual void FillEncodingDiagnostics(const query::Query& q,
+                                       ExplainRecord* rec);
+  /// Appends the standard featurization counters computed from `feat`.
+  static void AddFeatureStats(const std::vector<float>& feat,
+                              ExplainRecord* rec);
+
   const query::QueryEncoder& encoder() const { return *encoder_; }
 
  private:

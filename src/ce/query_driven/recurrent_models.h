@@ -10,6 +10,7 @@
 #include "src/ce/query_driven/neural_base.h"
 #include "src/nn/dense.h"
 #include "src/nn/recurrent.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -29,7 +30,9 @@ class RecurrentEstimatorBase : public NeuralQueryDrivenEstimator {
   }
 
   float ForwardOne(const query::Query& q) override {
+    telemetry::StageTimer::Mark("encode");
     nn::Matrix seq = nn::Matrix::Stack(encoder().SequenceEncode(q));
+    telemetry::StageTimer::Mark("forward");
     nn::Matrix h = cell_->ForwardSequence(seq);
     float pre = head_->Forward(h).Scalar();
     output_ = 1.0f / (1.0f + std::exp(-pre));

@@ -1,6 +1,7 @@
 #include "src/ce/query_driven/set_models.h"
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -47,7 +48,9 @@ nn::Matrix SetBasedEstimator::PoolSet(
 }
 
 float SetBasedEstimator::ForwardOne(const query::Query& q) {
+  telemetry::StageTimer::Mark("encode");
   query::MscnSets sets = encoder().MscnEncode(q);
+  telemetry::StageTimer::Mark("forward");
   std::vector<std::vector<float>> table_tokens =
       use_sample_bitmap_
           ? std::move(sets.tables)

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -162,6 +163,9 @@ double HistogramEstimator::EstimateWithDiagnostics(const query::Query& q,
 double HistogramEstimator::EstimateImpl(const query::Query& q,
                                         ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // Bucket lookups plus the join formula; no separate encode step.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   double card = 1.0;
   for (int t : q.tables) {
     double sel = 1.0;

@@ -7,6 +7,7 @@
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -94,6 +95,9 @@ double KdeEstimator::TableSelectivity(const query::Query& q, int table) const {
 
 double KdeEstimator::EstimateCardinality(const query::Query& q) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // Kernel sums over the stored samples plus the join formula.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   return CombineWithJoinFormula(
       *schema_, q,
       [&](int t) { return tables_[t].rows * TableSelectivity(q, t); },

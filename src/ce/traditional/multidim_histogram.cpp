@@ -5,6 +5,7 @@
 
 #include "src/storage/table.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -154,6 +155,9 @@ double MultiDimHistogramEstimator::EstimateWithDiagnostics(
 double MultiDimHistogramEstimator::EstimateImpl(const query::Query& q,
                                                 ExplainRecord* rec) {
   LCE_CHECK_MSG(schema_ != nullptr, "Build() before EstimateCardinality()");
+  // Grid probes plus the join formula; no separate encode step.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   static telemetry::Counter& fallback_counter =
       telemetry::MetricsRegistry::Global().counter(
           "ce.multihist.uniform_fallback");

@@ -4,6 +4,7 @@
 
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -63,7 +64,10 @@ double SamplingEstimator::EstimateWithDiagnostics(const query::Query& q,
 double SamplingEstimator::EstimateImpl(const query::Query& q,
                                        ExplainRecord* rec) {
   LCE_CHECK_MSG(executor_ != nullptr, "Build() before EstimateCardinality()");
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("traverse");
   double count = executor_->Cardinality(q);
+  stages.Stage("postprocess");
   double scale = 1.0;
   for (int t : q.tables) scale *= scale_[t];
   if (rec != nullptr) {

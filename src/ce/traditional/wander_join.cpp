@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/telemetry/stage_timer.h"
 
 namespace lce {
 namespace ce {
@@ -48,6 +49,9 @@ bool WanderJoinEstimator::RowPasses(const query::Query& q, int table,
 
 double WanderJoinEstimator::EstimateCardinality(const query::Query& q) {
   LCE_CHECK_MSG(db_ != nullptr, "Build() before EstimateCardinality()");
+  // encode = walk-order planning; traverse = the random walks themselves.
+  telemetry::StageTimer stages([this] { return Name(); });
+  stages.Stage("encode");
   const storage::DatabaseSchema& schema = db_->schema();
 
   // Walk order: BFS over the query's join tree from its first table. Each
@@ -90,6 +94,7 @@ double WanderJoinEstimator::EstimateCardinality(const query::Query& q) {
 
   const storage::Table& first = db_->table(q.tables[0]);
   if (first.num_rows() == 0) return 1.0;
+  stages.Stage("traverse");
   double total = 0;
   std::vector<uint32_t> chosen_row(db_->num_tables(), 0);
   for (int w = 0; w < options_.num_walks; ++w) {

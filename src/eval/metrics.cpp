@@ -25,10 +25,22 @@ AccuracyReport EvaluateAccuracy(ce::Estimator* estimator,
   telemetry::ScopedPhase phase("eval/accuracy");
   AccuracyReport report;
   report.qerrors.resize(test.size());
-  // Queries score independently, so estimators that declare a thread-safe
-  // inference path are evaluated in parallel chunks (per-index writes); the
-  // q-error vector is identical to the sequential scan either way.
-  if (estimator->ThreadSafeEstimate() && parallel::ThreadCount() > 1) {
+  // Queries score independently. A vectorized EstimateBatch() override wins
+  // over per-query parallelism (it amortizes encoding and traverses the
+  // model batched, parallelizing internally); otherwise estimators that
+  // declare a thread-safe inference path are evaluated in parallel chunks
+  // (per-index writes). Overrides are bit-identical to the per-query calls
+  // by contract, so the q-error vector is the same on every path.
+  if (estimator->HasBatchEstimate()) {
+    std::vector<query::Query> queries;
+    queries.reserve(test.size());
+    for (const query::LabeledQuery& lq : test) queries.push_back(lq.q);
+    std::vector<double> ests = estimator->EstimateBatch(queries);
+    LCE_CHECK(ests.size() == test.size());
+    for (size_t i = 0; i < test.size(); ++i) {
+      report.qerrors[i] = QError(ests[i], test[i].cardinality);
+    }
+  } else if (estimator->ThreadSafeEstimate() && parallel::ThreadCount() > 1) {
     parallel::ParallelFor(
         0, static_cast<int64_t>(test.size()), /*grain=*/8,
         [&](int64_t b, int64_t e) {

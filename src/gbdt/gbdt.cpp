@@ -6,6 +6,7 @@
 #include "src/util/parallel.h"
 #include "src/util/simd.h"
 #include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
 #include "src/util/telemetry/train_log.h"
 
 #define LCE_GBDT_RESTRICT __restrict__
@@ -259,6 +260,14 @@ float GradientBoosting::Predict(const std::vector<float>& row) const {
 std::vector<float> GradientBoosting::PredictBatch(
     const std::vector<std::vector<float>>& rows) const {
   LCE_CHECK_MSG(fitted_, "Fit() before PredictBatch()");
+  // Kernel span for the profiler: the batched SoA forest traversal is the
+  // GBDT inference hot path. Work ≈ node visits (rows × trees × depth),
+  // thresholded so single-row per-query calls don't pay span overhead on a
+  // microsecond traversal.
+  telemetry::KernelSpan span(
+      "FlatForest::PredictBatch",
+      static_cast<int64_t>(rows.size()) * static_cast<int64_t>(num_trees()) *
+          options_.tree.max_depth);
   std::vector<float> out(rows.size(), base_score_);
   if (rows.empty()) return out;
   const int64_t n = static_cast<int64_t>(rows.size());

@@ -30,6 +30,7 @@
 
 #include "src/nn/activation.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/trace.h"
 
 #define LCE_RESTRICT __restrict__
 
@@ -446,12 +447,19 @@ Result<Matrix> TryMatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) LCE_CHECK_OK(ShapeError("MatMul", a, b));
+  // Kernel span: with LCE_PROFILE on, the collapsed-stack hot paths name the
+  // actual dense kernels under their stage/epoch spans. Work-thresholded so
+  // batch-1 training micro-GEMMs don't drown in span overhead.
+  telemetry::KernelSpan span(
+      "MatMul", int64_t{a.rows()} * a.cols() * b.cols());
   return MatMulImpl(a, b, nullptr, Activation::kIdentity);
 }
 
 Matrix MatMulBiasAct(const Matrix& a, const Matrix& b, const Matrix& bias,
                      Activation act) {
   if (a.cols() != b.rows()) LCE_CHECK_OK(ShapeError("MatMulBiasAct", a, b));
+  telemetry::KernelSpan span(
+      "MatMulBiasAct", int64_t{a.rows()} * a.cols() * b.cols());
   if (bias.empty()) return MatMulImpl(a, b, nullptr, act);
   LCE_CHECK(bias.rows() == 1 && bias.cols() == b.cols());
   return MatMulImpl(a, b, &bias, act);
@@ -464,6 +472,8 @@ Result<Matrix> TryMatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) LCE_CHECK_OK(ShapeError("MatMulTransA", a, b));
+  telemetry::KernelSpan span(
+      "MatMulTransA", int64_t{a.cols()} * a.rows() * b.cols());
   return MatMulTransAImpl(a, b);
 }
 
@@ -474,6 +484,8 @@ Result<Matrix> TryMatMulTransB(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols()) LCE_CHECK_OK(ShapeError("MatMulTransB", a, b));
+  telemetry::KernelSpan span(
+      "MatMulTransB", int64_t{a.rows()} * a.cols() * b.rows());
   return MatMulTransBImpl(a, b);
 }
 

@@ -97,6 +97,7 @@ DiffReport Diff(const json::JsonValue& baseline, const json::JsonValue& current,
     double cv = it->second;
     double rel = (cv - bv) / std::max(std::abs(bv), 1e-12);
     if (std::abs(rel) <= options.rel_tol) continue;  // within tolerance
+    if (std::abs(cv - bv) <= options.abs_tol) continue;  // within abs slack
     Entry e{key, Verdict::kOk, watched, bv, cv, rel};
     if (watched) {
       e.verdict = rel > 0 ? Verdict::kRegression : Verdict::kImprovement;

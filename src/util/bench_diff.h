@@ -24,6 +24,12 @@ struct Options {
   /// Relative change beyond which a key counts as moved. Watched keys moving
   /// up by more than this fail the diff.
   double rel_tol = 0.25;
+  /// Absolute slack: a key only counts as moved when |current - baseline|
+  /// also exceeds this. Zero (the default) keeps pure relative gating. Set it
+  /// when watching quantities with tiny baselines — e.g. per-event
+  /// nanoseconds, where a 3 ns jitter on a 5 ns baseline is a 60% relative
+  /// change but means nothing.
+  double abs_tol = 0.0;
   /// Substrings selecting the gated, higher-is-worse keys.
   std::vector<std::string> watch = {"qerr"};
   /// Substrings of keys skipped entirely (volatile by construction).

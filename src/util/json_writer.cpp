@@ -79,7 +79,7 @@ JsonWriter& JsonWriter::Key(std::string_view key) {
   if (stack_.back().items > 0) out_->push_back(',');
   NewlineIndent();
   out_->push_back('"');
-  out_->append(Escape(key));
+  AppendEscaped(key);
   out_->append(style_ == Style::kPretty ? "\": " : "\":");
   stack_.back().key_pending = true;
   return *this;
@@ -88,7 +88,7 @@ JsonWriter& JsonWriter::Key(std::string_view key) {
 JsonWriter& JsonWriter::Value(std::string_view v) {
   BeforeValue();
   out_->push_back('"');
-  out_->append(Escape(v));
+  AppendEscaped(v);
   out_->push_back('"');
   return *this;
 }
@@ -130,9 +130,13 @@ JsonWriter& JsonWriter::Value(uint64_t v) {
 JsonWriter& JsonWriter::Value(double v) {
   if (!std::isfinite(v)) return Null();
   BeforeValue();
-  char buf[64];
-  int n = std::snprintf(buf, sizeof(buf), "%.12g", v);
-  out_->append(buf, static_cast<size_t>(n));
+  // Shortest round-trip form via to_chars: parses back to the same double
+  // and is ~10x cheaper than snprintf("%g"), which matters for the query
+  // log's one-JSON-line-per-query path.
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_->append(buf, end);
   return *this;
 }
 
@@ -143,6 +147,22 @@ JsonWriter& JsonWriter::Null() {
 }
 
 bool JsonWriter::done() const { return root_written_ && stack_.empty(); }
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  // Common case: nothing to escape — append in one shot, no temporary.
+  bool clean = true;
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\' || c < 0x20) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    out_->append(s);
+    return;
+  }
+  out_->append(Escape(s));
+}
 
 std::string JsonWriter::Escape(std::string_view s) {
   std::string out;

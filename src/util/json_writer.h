@@ -71,6 +71,7 @@ class JsonWriter {
 
   void BeforeValue();  // comma/indent bookkeeping shared by all Value()s
   void NewlineIndent();
+  void AppendEscaped(std::string_view s);  // Escape() minus the temporary
 
   std::string* out_;
   Style style_;

@@ -55,8 +55,7 @@ struct ThreadPool::Impl {
 
   void WorkerLoop(int worker_index) {
     tls_in_pool_worker = true;
-    telemetry::SetCurrentThreadName("lce-pool-" +
-                                    std::to_string(worker_index));
+    telemetry::SetCurrentThreadName("pool/" + std::to_string(worker_index));
     for (;;) {
       std::function<void()> task;
       {
@@ -109,7 +108,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     task();
     return;
   }
-  if (telemetry::TraceEnabled()) {
+  if (telemetry::SpanRecordingEnabled()) {
     // Parent pool work under the submitting span: capture the submitter's
     // innermost span id now and re-establish it inside the worker, so lane
     // spans nest in the trace instead of starting orphan roots.

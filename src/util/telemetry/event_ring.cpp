@@ -1,0 +1,364 @@
+#include "src/util/telemetry/event_ring.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+enum class EventType : uint8_t { kCounterAdd, kHistObserve, kSpan };
+
+// Fixed-size POD event. 88 bytes; a 256 KiB ring holds 2048 of them.
+struct RingEvent {
+  uint32_t name_id = 0;
+  uint32_t tid = 0;
+  uint32_t arg_name_id[2] = {0, 0};
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  double value = 0;    // counter delta / histogram value / unused for spans
+  uint64_t count = 0;  // histogram observation weight
+  double arg_value[2] = {0, 0};
+  EventType type = EventType::kCounterAdd;
+  uint8_t num_args = 0;
+};
+
+size_t EnvRingSlots() {
+  static size_t v = [] {
+    size_t bytes = 256 * 1024;
+    const char* e = std::getenv("LCE_EVENT_RING_KB");
+    if (e != nullptr && *e != '\0') {
+      char* end = nullptr;
+      long kb = std::strtol(e, &end, 10);
+      if (end != nullptr && *end == '\0' && kb > 0) {
+        bytes = static_cast<size_t>(kb) * 1024;
+      }
+    }
+    size_t slots = 64;
+    while (slots * 2 * sizeof(RingEvent) <= bytes) slots *= 2;
+    return slots;
+  }();
+  return v;
+}
+
+std::atomic<size_t> g_slots_override{0};  // 0 = env-derived
+
+size_t RingSlots() {
+  size_t o = g_slots_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : EnvRingSlots();
+}
+
+// Single-producer (owning thread) single-consumer (whoever holds the drain
+// mutex) ring. head_ is only written by the producer, tail_ only by the
+// consumer; capacity is a power of two fixed at construction.
+class EventRing {
+ public:
+  explicit EventRing(size_t slots)
+      : mask_(slots - 1), slots_(new RingEvent[slots]) {}
+
+  bool TryPush(const RingEvent& e) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[head & mask_] = e;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  template <typename Fn>
+  size_t Drain(Fn&& fn) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    size_t n = 0;
+    while (tail != head) {
+      fn(slots_[tail & mask_]);
+      ++tail;
+      ++n;
+    }
+    tail_.store(tail, std::memory_order_release);
+    return n;
+  }
+
+  uint64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Consumer-side bookkeeping: drops already added to the drop counter.
+  uint64_t dropped_applied = 0;
+
+ private:
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::atomic<uint64_t> dropped_{0};
+  const uint64_t mask_;
+  std::unique_ptr<RingEvent[]> slots_;
+};
+
+struct RingState {
+  std::mutex registry_mu;  // guards rings
+  std::vector<std::shared_ptr<EventRing>> rings;
+  std::mutex drain_mu;  // serializes consumers; guards the handle caches
+  // name_id -> resolved registry handle (consumer side, under drain_mu).
+  std::vector<Counter*> counter_handles;
+  std::vector<Histogram*> histogram_handles;
+  std::atomic<bool> drainer_started{false};
+  std::atomic<bool> drainer_paused{false};
+};
+
+RingState& Rings() {
+  static RingState* state = new RingState();  // leaked: drainer outlives exit
+  return *state;
+}
+
+void EnsureDrainerStarted() {
+  RingState& s = Rings();
+  if (s.drainer_started.exchange(true, std::memory_order_acq_rel)) return;
+  std::thread([] {
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (Rings().drainer_paused.load(std::memory_order_relaxed)) continue;
+      FlushEventRings();
+    }
+  }).detach();
+}
+
+EventRing& LocalRing() {
+  thread_local std::shared_ptr<EventRing> ring = [] {
+    auto r = std::make_shared<EventRing>(RingSlots());
+    RingState& s = Rings();
+    {
+      std::lock_guard<std::mutex> lock(s.registry_mu);
+      s.rings.push_back(r);
+    }
+    EnsureDrainerStarted();
+    return r;
+  }();
+  return *ring;
+}
+
+// --- Name interning -------------------------------------------------------
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct InternState {
+  std::mutex mu;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>> ids;
+  // id -> name. Pointers are stable (deque-like growth via unique_ptr).
+  std::vector<std::unique_ptr<std::string>> names;
+};
+
+InternState& Interns() {
+  static InternState* state = new InternState();
+  return *state;
+}
+
+// Applies one drained event. Runs under drain_mu.
+void ApplyEvent(RingState& s, const RingEvent& e) {
+  switch (e.type) {
+    case EventType::kCounterAdd: {
+      if (s.counter_handles.size() <= e.name_id) {
+        s.counter_handles.resize(e.name_id + 1, nullptr);
+      }
+      Counter*& c = s.counter_handles[e.name_id];
+      if (c == nullptr) {
+        c = &MetricsRegistry::Global().counter(InternedNameOf(e.name_id));
+      }
+      c->AddAlways(e.count);
+      break;
+    }
+    case EventType::kHistObserve: {
+      if (s.histogram_handles.size() <= e.name_id) {
+        s.histogram_handles.resize(e.name_id + 1, nullptr);
+      }
+      Histogram*& h = s.histogram_handles[e.name_id];
+      if (h == nullptr) {
+        h = &MetricsRegistry::Global().histogram(InternedNameOf(e.name_id));
+      }
+      h->ObserveCountAlways(e.value, e.count);
+      break;
+    }
+    case EventType::kSpan: {
+      TraceEvent event;
+      event.name = InternedNameOf(e.name_id);
+      event.start_ns = e.start_ns;
+      event.dur_ns = e.end_ns - e.start_ns;
+      event.tid = e.tid;
+      event.id = e.span_id;
+      event.parent_id = e.parent_id;
+      for (int i = 0; i < e.num_args; ++i) {
+        event.args.emplace_back(InternedNameOf(e.arg_name_id[i]),
+                                e.arg_value[i]);
+      }
+      internal::AppendDrainedEvent(std::move(event));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+size_t EventRingCapacityBytes() { return RingSlots() * sizeof(RingEvent); }
+
+void SetEventRingSlotsForTesting(size_t n) {
+  size_t slots = 0;
+  if (n != 0) {
+    slots = 1;
+    while (slots < n) slots *= 2;
+  }
+  g_slots_override.store(slots, std::memory_order_relaxed);
+}
+
+void SetDrainerPausedForTesting(bool paused) {
+  Rings().drainer_paused.store(paused, std::memory_order_relaxed);
+}
+
+uint32_t InternName(std::string_view name) {
+  thread_local std::unordered_map<std::string, uint32_t, StringHash,
+                                  std::equal_to<>>
+      cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  InternState& s = Interns();
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [pos, inserted] =
+        s.ids.emplace(std::string(name), static_cast<uint32_t>(s.names.size()));
+    if (inserted) {
+      s.names.push_back(std::make_unique<std::string>(name));
+    }
+    id = pos->second;
+  }
+  cache.emplace(std::string(name), id);
+  return id;
+}
+
+const std::string& InternedNameOf(uint32_t id) {
+  InternState& s = Interns();
+  std::lock_guard<std::mutex> lock(s.mu);
+  LCE_CHECK_MSG(id < s.names.size(), "unknown interned name id");
+  return *s.names[id];
+}
+
+void EmitCounterAdd(uint32_t name_id, uint64_t delta) {
+  RingEvent e;
+  e.type = EventType::kCounterAdd;
+  e.name_id = name_id;
+  e.count = delta;
+  LocalRing().TryPush(e);
+}
+
+void EmitHistogram(uint32_t name_id, double value, uint64_t count) {
+  RingEvent e;
+  e.type = EventType::kHistObserve;
+  e.name_id = name_id;
+  e.value = value;
+  e.count = count;
+  LocalRing().TryPush(e);
+}
+
+void EmitSpanEvent(uint32_t name_id, int64_t start_ns, int64_t end_ns,
+                   uint32_t tid, uint64_t span_id, uint64_t parent_id,
+                   const SpanArg* args, int num_args) {
+  RingEvent e;
+  e.type = EventType::kSpan;
+  e.name_id = name_id;
+  e.tid = tid;
+  e.start_ns = start_ns;
+  e.end_ns = end_ns;
+  e.span_id = span_id;
+  e.parent_id = parent_id;
+  if (num_args > 2) num_args = 2;
+  e.num_args = static_cast<uint8_t>(num_args);
+  for (int i = 0; i < num_args; ++i) {
+    e.arg_name_id[i] = args[i].name_id;
+    e.arg_value[i] = args[i].value;
+  }
+  LocalRing().TryPush(e);
+}
+
+void EmitPhase(const std::string& key, int64_t start_ns, int64_t end_ns,
+               uint64_t span_id, uint64_t parent_id, bool metrics_on,
+               bool spans_on) {
+  struct PhaseIds {
+    uint32_t ns, calls, name;
+  };
+  thread_local std::unordered_map<std::string, PhaseIds, StringHash,
+                                  std::equal_to<>>
+      cache;
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    PhaseIds ids{InternName("phase." + key + ".ns"),
+                 InternName("phase." + key + ".calls"), InternName(key)};
+    it = cache.emplace(key, ids).first;
+  }
+  const PhaseIds& ids = it->second;
+  if (metrics_on) {
+    EmitCounterAdd(ids.ns, static_cast<uint64_t>(end_ns - start_ns));
+    EmitCounterAdd(ids.calls, 1);
+  }
+  if (spans_on) {
+    EmitSpanEvent(ids.name, start_ns, end_ns, internal::CurrentTraceTid(),
+                  span_id, parent_id, nullptr, 0);
+  }
+}
+
+void FlushEventRings() {
+  RingState& s = Rings();
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    rings = s.rings;
+  }
+  if (rings.empty()) return;
+  std::lock_guard<std::mutex> drain_lock(s.drain_mu);
+  uint64_t new_drops = 0;
+  for (const auto& ring : rings) {
+    ring->Drain([&s](const RingEvent& e) { ApplyEvent(s, e); });
+    uint64_t dropped = ring->Dropped();
+    new_drops += dropped - ring->dropped_applied;
+    ring->dropped_applied = dropped;
+  }
+  if (new_drops > 0) {
+    MetricsRegistry::Global()
+        .counter("telemetry.dropped_events")
+        .AddAlways(new_drops);
+  }
+}
+
+uint64_t DroppedEventCount() {
+  RingState& s = Rings();
+  std::vector<std::shared_ptr<EventRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    rings = s.rings;
+  }
+  uint64_t total = 0;
+  for (const auto& ring : rings) total += ring->Dropped();
+  return total;
+}
+
+}  // namespace telemetry
+}  // namespace lce

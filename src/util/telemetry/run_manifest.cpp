@@ -14,8 +14,10 @@
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
 #include "src/util/telemetry/drift.h"
+#include "src/util/telemetry/event_ring.h"
 #include "src/util/telemetry/memory.h"
 #include "src/util/telemetry/model_card.h"
+#include "src/util/telemetry/profiler.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
@@ -108,6 +110,9 @@ const char* BuildGitCommit() { return LCE_GIT_COMMIT; }
 
 std::string RunManifestJson(const std::string& bench_name,
                             double wall_seconds) {
+  // Apply everything still sitting in the event rings so the phase
+  // breakdown and metrics snapshot below are complete.
+  FlushEventRings();
   // Refresh mem.* gauges (when LCE_METRICS is on) so the metrics snapshot
   // below carries the peak RSS bench_diff watches.
   MemoryTracker::Global().SamplePeakRss();
@@ -139,6 +144,8 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_BITMAP_CACHE_SIZE");
   WriteEnvEntry(&w, "LCE_SIMD");
   WriteEnvEntry(&w, "LCE_FASTMATH");
+  WriteEnvEntry(&w, "LCE_PROFILE");
+  WriteEnvEntry(&w, "LCE_EVENT_RING_KB");
   w.EndObject();
   // Mirrors exec::OracleIndexEnabled()'s env parse (telemetry cannot depend
   // on exec); test-only overrides are not reflected here.
@@ -163,6 +170,17 @@ std::string RunManifestJson(const std::string& bench_name,
   } else {
     w.Null();
   }
+  w.Key("profile_path");
+  if (ProfileEnabled()) {
+    w.Value(ProfilePath());
+  } else {
+    w.Null();
+  }
+  w.Key("event_ring")
+      .BeginObject()
+      .Key("capacity_bytes").Value(uint64_t{EventRingCapacityBytes()})
+      .Key("dropped_events").Value(DroppedEventCount())
+      .EndObject();
   w.Key("query_log");
   if (QueryLogEnabled()) {
     w.Value(QueryLogPath());

@@ -1,0 +1,120 @@
+#include "src/util/telemetry/stage_timer.h"
+
+#include <unordered_map>
+
+#include "src/util/telemetry/event_ring.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
+
+namespace lce {
+namespace telemetry {
+
+namespace {
+
+thread_local StageTimer* tls_innermost_timer = nullptr;
+
+struct StageKeyHash {
+  size_t operator()(const std::pair<std::string, const char*>& k) const {
+    return std::hash<std::string_view>{}(k.first) ^
+           (std::hash<const void*>{}(k.second) * 1099511628211ull);
+  }
+};
+
+// (model, stage-literal) -> interned "ce.<model>.stage.<stage>.micros".
+// Keyed on the literal's address: Stage()/Mark() contract requires literals,
+// so repeat calls hit the cache without composing the metric name.
+uint32_t StageHistId(const std::string& model, const char* stage) {
+  thread_local std::unordered_map<std::pair<std::string, const char*>,
+                                  uint32_t, StageKeyHash>
+      cache;
+  auto key = std::make_pair(model, stage);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    uint32_t id =
+        InternName("ce." + model + ".stage." + stage + ".micros");
+    it = cache.emplace(std::move(key), id).first;
+  }
+  return it->second;
+}
+
+uint32_t StageSpanId(const char* stage) {
+  thread_local std::unordered_map<const void*, uint32_t> cache;
+  auto it = cache.find(stage);
+  if (it == cache.end()) {
+    it = cache.emplace(stage, InternName(std::string("stage/") + stage)).first;
+  }
+  return it->second;
+}
+
+uint32_t LatencyHistId(const std::string& model) {
+  thread_local std::unordered_map<std::string, uint32_t> cache;
+  auto it = cache.find(model);
+  if (it == cache.end()) {
+    it = cache.emplace(model, InternName("ce." + model + ".latency.micros"))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+bool StageTimer::ShouldActivate() {
+  return MetricsEnabled() || SpanRecordingEnabled();
+}
+
+void StageTimer::Activate(std::string model, uint64_t batch) {
+  active_ = true;
+  metrics_on_ = MetricsEnabled();
+  spans_on_ = SpanRecordingEnabled();
+  batch_ = batch == 0 ? 1 : batch;
+  model_ = std::move(model);
+  prev_ = tls_innermost_timer;
+  tls_innermost_timer = this;
+  begin_ns_ = MonotonicNanos();
+}
+
+void StageTimer::CloseOpenStage(int64_t now_ns) {
+  if (open_stage_ == nullptr) return;
+  if (spans_on_) {
+    internal::RestoreCurrentSpan(open_parent_id_);
+    EmitSpanEvent(StageSpanId(open_stage_), open_start_ns_, now_ns,
+                  internal::CurrentTraceTid(), open_span_id_, open_parent_id_,
+                  nullptr, 0);
+  }
+  if (metrics_on_) {
+    double micros = static_cast<double>(now_ns - open_start_ns_) /
+                    (1e3 * static_cast<double>(batch_));
+    EmitHistogram(StageHistId(model_, open_stage_), micros, batch_);
+  }
+  open_stage_ = nullptr;
+}
+
+void StageTimer::Stage(const char* stage) {
+  if (!active_) return;
+  int64_t now = MonotonicNanos();
+  CloseOpenStage(now);
+  open_stage_ = stage;
+  open_start_ns_ = now;
+  if (spans_on_) {
+    open_parent_id_ = CurrentSpanId();
+    open_span_id_ = internal::BeginSpan();
+  }
+}
+
+void StageTimer::Deactivate() {
+  int64_t now = MonotonicNanos();
+  CloseOpenStage(now);
+  if (metrics_on_) {
+    double micros = static_cast<double>(now - begin_ns_) /
+                    (1e3 * static_cast<double>(batch_));
+    EmitHistogram(LatencyHistId(model_), micros, batch_);
+  }
+  tls_innermost_timer = prev_;
+}
+
+void StageTimer::Mark(const char* stage) {
+  if (tls_innermost_timer != nullptr) tls_innermost_timer->Stage(stage);
+}
+
+}  // namespace telemetry
+}  // namespace lce

@@ -1,11 +1,14 @@
 #include "src/util/telemetry/telemetry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "src/util/json_writer.h"
+#include "src/util/telemetry/event_ring.h"
 #include "src/util/telemetry/trace.h"
 
 namespace lce {
@@ -74,11 +77,24 @@ int Histogram::BucketOf(double value) {
   return idx;
 }
 
-void Histogram::ObserveAlways(double value) {
+void Histogram::ObserveCountAlways(double value, uint64_t count) {
+  if (count == 0) return;
   Shard& shard = shards_[internal::ShardIndex()];
-  shard.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.counts[BucketOf(value)].fetch_add(count, std::memory_order_relaxed);
+  double add = value * static_cast<double>(count);
   double cur = shard.sum.load(std::memory_order_relaxed);
-  while (!shard.sum.compare_exchange_weak(cur, cur + value,
+  while (!shard.sum.compare_exchange_weak(cur, cur + add,
+                                          std::memory_order_relaxed)) {
+  }
+  // Exact min/max. After warm-up the comparisons fail and no CAS runs.
+  double lo = shard.min.load(std::memory_order_relaxed);
+  while (value < lo &&
+         !shard.min.compare_exchange_weak(lo, value,
+                                          std::memory_order_relaxed)) {
+  }
+  double hi = shard.max.load(std::memory_order_relaxed);
+  while (value > hi &&
+         !shard.max.compare_exchange_weak(hi, value,
                                           std::memory_order_relaxed)) {
   }
 }
@@ -115,11 +131,15 @@ double QuantileFromBuckets(const uint64_t* counts, double target) {
 HistogramSnapshot Histogram::Snapshot() const {
   uint64_t merged[kNumBuckets] = {};
   HistogramSnapshot snap;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
   for (const Shard& shard : shards_) {
     for (int i = 0; i < kNumBuckets; ++i) {
       merged[i] += shard.counts[i].load(std::memory_order_relaxed);
     }
     snap.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
   }
   for (uint64_t c : merged) snap.count += c;
   if (snap.count == 0) return snap;
@@ -128,12 +148,9 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.p50 = QuantileFromBuckets(merged, 0.50 * n);
   snap.p95 = QuantileFromBuckets(merged, 0.95 * n);
   snap.p99 = QuantileFromBuckets(merged, 0.99 * n);
-  for (int i = kNumBuckets - 1; i >= 0; --i) {
-    if (merged[i] > 0) {
-      snap.max = i == 0 ? kMinValue : BucketLowerEdge(i + 1);
-      break;
-    }
-  }
+  snap.p999 = QuantileFromBuckets(merged, 0.999 * n);
+  snap.min = std::isfinite(min) ? min : 0.0;
+  snap.max = std::isfinite(max) ? max : 0.0;
   return snap;
 }
 
@@ -197,6 +214,8 @@ void MetricsRegistry::WriteJson(JsonWriter* w) const {
         .Key("p50").Value(s.p50)
         .Key("p95").Value(s.p95)
         .Key("p99").Value(s.p99)
+        .Key("p999").Value(s.p999)
+        .Key("min").Value(s.min)
         .Key("max").Value(s.max)
         .EndObject();
   }
@@ -216,6 +235,9 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues()
 }
 
 void MetricsRegistry::ResetForTesting() {
+  // Apply stale ring events first so they cannot land in the freshly zeroed
+  // registry after this call returns.
+  FlushEventRings();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) {
     for (auto& cell : c->cells_) cell.value.store(0, std::memory_order_relaxed);
@@ -229,6 +251,10 @@ void MetricsRegistry::ResetForTesting() {
         count.store(0, std::memory_order_relaxed);
       }
       shard.sum.store(0.0, std::memory_order_relaxed);
+      shard.min.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+      shard.max.store(-std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
     }
   }
 }
@@ -242,7 +268,9 @@ PhaseScope::~PhaseScope() { tls_phase_scope = std::move(saved_); }
 const std::string& PhaseScope::Current() { return tls_phase_scope; }
 
 ScopedPhase::ScopedPhase(const char* name)
-    : name_(name), metrics_on_(MetricsEnabled()), trace_on_(TraceEnabled()) {
+    : name_(name),
+      metrics_on_(MetricsEnabled()),
+      trace_on_(SpanRecordingEnabled()) {
   if (trace_on_) {
     parent_span_id_ = CurrentSpanId();
     span_id_ = internal::BeginSpan();
@@ -253,20 +281,14 @@ ScopedPhase::ScopedPhase(const char* name)
 ScopedPhase::~ScopedPhase() {
   if (!metrics_on_ && !trace_on_) return;
   int64_t end_ns = MonotonicNanos();
+  if (trace_on_) internal::RestoreCurrentSpan(parent_span_id_);
   const std::string& scope = PhaseScope::Current();
-  std::string key =
-      scope.empty() ? std::string(name_) : scope + ":" + name_;
-  if (metrics_on_) {
-    MetricsRegistry& reg = MetricsRegistry::Global();
-    reg.counter("phase." + key + ".ns")
-        .AddAlways(static_cast<uint64_t>(end_ns - start_ns_));
-    reg.counter("phase." + key + ".calls").AddAlways(1);
-  }
-  if (trace_on_) {
-    internal::RestoreCurrentSpan(parent_span_id_);
-    internal::AppendCompleteEvent(std::move(key), start_ns_, end_ns, span_id_,
-                                  parent_span_id_, {});
-  }
+  // Counter increments and the span go through the lock-free event ring;
+  // EmitPhase caches the interned ids per (thread, key), so steady state
+  // composes one small string and never touches the registry mutex.
+  std::string key = scope.empty() ? std::string(name_) : scope + ":" + name_;
+  EmitPhase(key, start_ns_, end_ns, span_id_, parent_span_id_, metrics_on_,
+            trace_on_);
 }
 
 }  // namespace telemetry

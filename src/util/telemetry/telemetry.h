@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -103,7 +104,9 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
-  double max = 0;  // upper edge of the highest occupied bucket (approximate)
+  double p999 = 0;
+  double min = 0;  // exact smallest observed value
+  double max = 0;  // exact largest observed value
 };
 
 /// Log-bucketed histogram: buckets grow by 2^(1/3) (~26% relative width)
@@ -120,7 +123,12 @@ class Histogram {
     if (!MetricsEnabled()) return;
     ObserveAlways(value);
   }
-  void ObserveAlways(double value);
+  void ObserveAlways(double value) { ObserveCountAlways(value, 1); }
+
+  /// Records `count` observations of `value` (one bucket add; sum, min, and
+  /// max treat it as `count` repeats). The event-ring drainer uses this to
+  /// apply weighted histogram events.
+  void ObserveCountAlways(double value, uint64_t count);
 
   HistogramSnapshot Snapshot() const;
 
@@ -133,6 +141,9 @@ class Histogram {
   struct alignas(64) Shard {
     std::atomic<uint64_t> counts[kNumBuckets] = {};
     std::atomic<double> sum{0.0};
+    // Empty-shard sentinels; Snapshot() ignores them when merging.
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
   };
   Shard shards_[internal::kShards];
 };
@@ -187,8 +198,8 @@ class PhaseScope {
 
 /// RAII phase timer: on destruction adds elapsed time to the
 /// phase.<scope>:<name>.{ns,calls} counters (when metrics are on) and emits a
-/// trace span (when tracing is on). `name` must outlive the object — use a
-/// string literal.
+/// trace span (when span recording is on). Both go through the lock-free
+/// event ring. `name` must outlive the object — use a string literal.
 class ScopedPhase {
  public:
   explicit ScopedPhase(const char* name);

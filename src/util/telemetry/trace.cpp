@@ -11,6 +11,8 @@
 #include "src/util/fs.h"
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
+#include "src/util/telemetry/event_ring.h"
+#include "src/util/telemetry/profiler.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -31,6 +33,10 @@ struct TraceState {
   std::mutex mu;
   std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
   std::atomic<uint32_t> next_tid{1};
+  // Spans drained from the event rings (already carry their tid). Only the
+  // ring consumer appends, under drained_mu.
+  std::mutex drained_mu;
+  std::vector<TraceEvent> drained;
 };
 
 TraceState& State() {
@@ -89,6 +95,8 @@ bool TraceEnabled() {
   InitEnabledFlag();
   return g_enabled.load(std::memory_order_relaxed);
 }
+
+bool SpanRecordingEnabled() { return TraceEnabled() || ProfileEnabled(); }
 
 void SetTracePathForTesting(const char* path) {
   InitEnabledFlag();
@@ -152,9 +160,17 @@ void RestoreCurrentSpan(uint64_t parent_id) {
   tls_current_span_id = parent_id;
 }
 
+void AppendDrainedEvent(TraceEvent event) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.drained_mu);
+  s.drained.push_back(std::move(event));
+}
+
+uint32_t CurrentTraceTid() { return LocalBuffer().tid; }
+
 }  // namespace internal
 
-TraceSpan::TraceSpan(const char* name) : active_(TraceEnabled()) {
+TraceSpan::TraceSpan(const char* name) : active_(SpanRecordingEnabled()) {
   if (!active_) return;
   name_ = name;
   parent_id_ = CurrentSpanId();
@@ -162,7 +178,7 @@ TraceSpan::TraceSpan(const char* name) : active_(TraceEnabled()) {
   start_ns_ = MonotonicNanos();
 }
 
-TraceSpan::TraceSpan(std::string name) : active_(TraceEnabled()) {
+TraceSpan::TraceSpan(std::string name) : active_(SpanRecordingEnabled()) {
   if (!active_) return;
   name_ = std::move(name);
   parent_id_ = CurrentSpanId();
@@ -173,8 +189,20 @@ TraceSpan::TraceSpan(std::string name) : active_(TraceEnabled()) {
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   internal::RestoreCurrentSpan(parent_id_);
-  internal::AppendCompleteEvent(std::move(name_), start_ns_, MonotonicNanos(),
-                                id_, parent_id_, std::move(args_));
+  int64_t end_ns = MonotonicNanos();
+  if (args_.size() <= 2) {
+    // Hot path: through the lock-free event ring.
+    SpanArg ring_args[2];
+    for (size_t i = 0; i < args_.size(); ++i) {
+      ring_args[i] = {InternName(args_[i].first), args_[i].second};
+    }
+    EmitSpanEvent(InternName(name_), start_ns_, end_ns,
+                  internal::CurrentTraceTid(), id_, parent_id_, ring_args,
+                  static_cast<int>(args_.size()));
+    return;
+  }
+  internal::AppendCompleteEvent(std::move(name_), start_ns_, end_ns, id_,
+                                parent_id_, std::move(args_));
 }
 
 void TraceSpan::AddArg(const char* key, double value) {
@@ -184,8 +212,11 @@ void TraceSpan::AddArg(const char* key, double value) {
 
 namespace {
 
-// Snapshot of every buffer, in tid order, events in recording order.
+// Snapshot of every buffer plus the ring-drained stream, events in
+// recording order per source. Drains the event rings first so nothing
+// recorded before the call is missing.
 std::vector<std::pair<TraceEvent, std::string>> CollectEvents() {
+  FlushEventRings();
   TraceState& s = State();
   std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
   {
@@ -193,10 +224,20 @@ std::vector<std::pair<TraceEvent, std::string>> CollectEvents() {
     buffers = s.buffers;
   }
   std::vector<std::pair<TraceEvent, std::string>> out;  // event, thread name
+  std::map<uint32_t, std::string> names_by_tid;
   for (const auto& b : buffers) {
     std::lock_guard<std::mutex> lock(b->mu);
+    if (!b->thread_name.empty()) names_by_tid[b->tid] = b->thread_name;
     for (const TraceEvent& e : b->events) {
       out.emplace_back(e, b->thread_name);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.drained_mu);
+    for (const TraceEvent& e : s.drained) {
+      auto it = names_by_tid.find(e.tid);
+      out.emplace_back(e,
+                       it == names_by_tid.end() ? std::string() : it->second);
     }
   }
   return out;
@@ -319,6 +360,7 @@ std::vector<TraceEvent> SnapshotTraceEventsForTesting() {
 }
 
 void ClearTraceForTesting() {
+  FlushEventRings();  // stale ring events must not leak into the next test
   TraceState& s = State();
   std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
   {
@@ -329,6 +371,8 @@ void ClearTraceForTesting() {
     std::lock_guard<std::mutex> lock(b->mu);
     b->events.clear();
   }
+  std::lock_guard<std::mutex> lock(s.drained_mu);
+  s.drained.clear();
 }
 
 }  // namespace telemetry

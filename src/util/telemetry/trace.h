@@ -17,13 +17,20 @@
 // parallel lanes nest under the span that spawned them instead of floating
 // as orphans.
 //
-// With LCE_TRACE unset, constructing a TraceSpan is a relaxed atomic load
-// plus a branch; nothing is recorded and no clock is read.
+// Finished spans with at most two numeric args are pushed through the
+// lock-free per-thread event ring (event_ring.h) instead of the buffer
+// mutex; the background drainer lands them in the trace stream. Spans with
+// more args take the legacy buffered path.
+//
+// With LCE_TRACE and LCE_PROFILE unset, constructing a TraceSpan is two
+// relaxed atomic loads plus a branch; nothing is recorded and no clock is
+// read.
 
 #ifndef LCE_UTIL_TELEMETRY_TRACE_H_
 #define LCE_UTIL_TELEMETRY_TRACE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +42,13 @@ namespace telemetry {
 
 /// True when trace collection is on (LCE_TRACE set, or a test override).
 bool TraceEnabled();
+
+/// True when spans must be recorded at all: tracing is on, or the profiler
+/// (LCE_PROFILE) wants the span stream folded into a call tree. Everything
+/// that records spans — TraceSpan, ScopedPhase, stage timers, and
+/// ThreadPool::Submit's cross-thread parent adoption — gates on this, not on
+/// TraceEnabled(), so profiles see the same hierarchy traces do.
+bool SpanRecordingEnabled();
 
 /// Overrides the trace destination (tests). Empty path disables tracing;
 /// nullptr restores the LCE_TRACE-derived value.
@@ -99,6 +113,28 @@ class TraceSpan {
   std::vector<std::pair<std::string, double>> args_;
 };
 
+/// Minimum per-call work (fused multiply-adds, node visits, ...) for a
+/// kernel to earn its own span. Below this a kernel runs in ~1µs and a
+/// ~100ns span is distortion, not measurement — and batch-1 training loops
+/// issue millions of them. Sub-threshold kernel time attributes to the
+/// enclosing span (epoch, stage), which is where a profiler wants it.
+inline constexpr int64_t kKernelSpanMinWork = 32 * 1024;
+
+/// RAII span for dense kernels: records exactly like TraceSpan, but only
+/// when `work` clears kKernelSpanMinWork. Construction with recording off or
+/// work under the threshold is a relaxed load, a compare, and nothing else.
+class KernelSpan {
+ public:
+  KernelSpan(const char* name, int64_t work) {
+    if (work >= kKernelSpanMinWork && SpanRecordingEnabled()) {
+      span_.emplace(name);
+    }
+  }
+
+ private:
+  std::optional<TraceSpan> span_;
+};
+
 /// Flushes all buffered events to TracePath() as Chrome trace-event JSON.
 /// No-op when tracing is off. Safe to call more than once (rewrites the
 /// file with everything recorded so far).
@@ -119,6 +155,13 @@ namespace internal {
 void AppendCompleteEvent(std::string name, int64_t start_ns, int64_t end_ns,
                          uint64_t id, uint64_t parent_id,
                          std::vector<std::pair<std::string, double>> args);
+
+/// Appends a span drained from the event rings (event_ring.cpp only).
+void AppendDrainedEvent(TraceEvent event);
+
+/// The calling thread's trace id; ring events carry it so drained spans
+/// attribute to the right thread lane.
+uint32_t CurrentTraceTid();
 
 /// Allocates a fresh span id and installs it as the thread's current span.
 /// Returns the new id; the previous current span (the parent) is read with

@@ -96,6 +96,56 @@ TEST(BenchDiffTest, UnwatchedChangeNeverGates) {
   EXPECT_TRUE(reported);
 }
 
+// Absolute tolerance: a watched key with a tiny baseline (per-event
+// nanoseconds) can jump far past rel_tol on jitter alone; abs_tol adds a
+// floor under which the change never counts.
+TEST(BenchDiffTest, AbsToleranceSuppressesSmallAbsoluteMoves) {
+  constexpr char kNsBase[] = R"({
+    "metrics": {"gauges": {"telemetry.overhead.span_on": 5.0}}
+  })";
+  constexpr char kNsCur[] = R"({
+    "metrics": {"gauges": {"telemetry.overhead.span_on": 9.0}}
+  })";  // +80% relative, +4 absolute
+  Options options;
+  options.watch = {"overhead"};
+  options.rel_tol = 0.25;
+
+  DiffReport without = Diff(ParseOrDie(kNsBase), ParseOrDie(kNsCur), options);
+  EXPECT_TRUE(without.has_regression());
+
+  options.abs_tol = 10.0;  // anything within 10 ns is noise
+  DiffReport with = Diff(ParseOrDie(kNsBase), ParseOrDie(kNsCur), options);
+  EXPECT_FALSE(with.has_regression());
+  EXPECT_TRUE(with.entries.empty());
+}
+
+TEST(BenchDiffTest, AbsToleranceStillCatchesLargeMoves) {
+  constexpr char kNsBase[] = R"({
+    "metrics": {"gauges": {"telemetry.overhead.span_on": 5.0}}
+  })";
+  constexpr char kNsCur[] = R"({
+    "metrics": {"gauges": {"telemetry.overhead.span_on": 80.0}}
+  })";  // both bounds blown: 16x relative, +75 absolute
+  Options options;
+  options.watch = {"overhead"};
+  options.rel_tol = 0.25;
+  options.abs_tol = 10.0;
+  DiffReport report = Diff(ParseOrDie(kNsBase), ParseOrDie(kNsCur), options);
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(BenchDiffTest, AbsToleranceDoesNotMaskMissingKeys) {
+  constexpr char kNsBase[] = R"({
+    "metrics": {"gauges": {"telemetry.overhead.span_on": 5.0}}
+  })";
+  Options options;
+  options.watch = {"overhead"};
+  options.abs_tol = 1e9;
+  DiffReport report =
+      Diff(ParseOrDie(kNsBase), ParseOrDie("{}"), options);
+  EXPECT_TRUE(report.has_regression());  // vanished watched key still gates
+}
+
 TEST(BenchDiffTest, MissingWatchedKeyIsRegression) {
   constexpr char kCurrent[] = R"({
     "metrics": {"gauges": {"ce/FCN/qerr_p95_window": 4.0}}

@@ -1,0 +1,153 @@
+#include "src/util/telemetry/event_ring.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+namespace {
+
+// The drainer thread runs through every test in this binary; tests that
+// assert on pre-flush state pause it and restore it on teardown.
+class EventRingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabledForTesting(1);
+    FlushEventRings();
+    MetricsRegistry::Global().ResetForTesting();
+  }
+  // Pauses the background drainer and waits out any pass already past the
+  // pause check, so events emitted afterwards stay in their rings.
+  void PauseDrainer() {
+    SetDrainerPausedForTesting(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  void TearDown() override {
+    SetDrainerPausedForTesting(false);
+    SetEventRingSlotsForTesting(0);
+    SetMetricsEnabledForTesting(-1);
+    FlushEventRings();
+    MetricsRegistry::Global().ResetForTesting();
+  }
+};
+
+TEST_F(EventRingTest, InterningIsStableAndReversible) {
+  uint32_t a = InternName("test.ring.name_a");
+  uint32_t b = InternName("test.ring.name_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(InternName("test.ring.name_a"), a);
+  EXPECT_EQ(InternedNameOf(a), "test.ring.name_a");
+  EXPECT_EQ(InternedNameOf(b), "test.ring.name_b");
+}
+
+TEST_F(EventRingTest, CounterEventsDrainIntoRegistry) {
+  uint32_t id = InternName("test.ring.counter");
+  EmitCounterAdd(id, 3);
+  EmitCounterAdd(id, 4);
+  FlushEventRings();
+  EXPECT_EQ(MetricsRegistry::Global().counter("test.ring.counter").Value(),
+            7u);
+}
+
+TEST_F(EventRingTest, WeightedHistogramEventsKeepCountAndBounds) {
+  uint32_t id = InternName("test.ring.hist");
+  EmitHistogram(id, 10.0, 5);  // five queries at 10 each
+  EmitHistogram(id, 100.0, 1);
+  FlushEventRings();
+  HistogramSnapshot snap =
+      MetricsRegistry::Global().histogram("test.ring.hist").Snapshot();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_NEAR(snap.sum, 150.0, 1e-9);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+}
+
+TEST_F(EventRingTest, EventsStayBufferedUntilFlushWhenDrainerPaused) {
+  PauseDrainer();
+  Counter& c = MetricsRegistry::Global().counter("test.ring.paused");
+  uint32_t id = InternName("test.ring.paused");
+  EmitCounterAdd(id, 1);
+  // The drainer is paused and nobody flushed: the registry cannot have seen
+  // the event yet (it is sitting in this thread's ring).
+  EXPECT_EQ(c.Value(), 0u);
+  FlushEventRings();
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(EventRingTest, FullRingDropsAndAccountsEvents) {
+  PauseDrainer();
+  SetEventRingSlotsForTesting(64);
+  uint64_t dropped_before = DroppedEventCount();
+  uint64_t counter_before =
+      MetricsRegistry::Global().counter("telemetry.dropped_events").Value();
+
+  // A fresh thread gets a fresh (64-slot) ring; with the drainer paused,
+  // pushing 1000 events must fill it and drop the rest on the floor.
+  constexpr uint64_t kEvents = 1000;
+  std::thread producer([] {
+    uint32_t id = InternName("test.ring.drops");
+    for (uint64_t i = 0; i < kEvents; ++i) EmitCounterAdd(id, 1);
+  });
+  producer.join();
+
+  uint64_t dropped = DroppedEventCount() - dropped_before;
+  EXPECT_GE(dropped, kEvents - 64);
+  EXPECT_LT(dropped, kEvents);
+
+  FlushEventRings();
+  // Applied + dropped account for every emitted event, and the drop total
+  // surfaced as the telemetry.dropped_events counter.
+  uint64_t applied =
+      MetricsRegistry::Global().counter("test.ring.drops").Value();
+  EXPECT_EQ(applied + dropped, kEvents);
+  EXPECT_EQ(MetricsRegistry::Global()
+                    .counter("telemetry.dropped_events")
+                    .Value() -
+                counter_before,
+            dropped);
+}
+
+TEST_F(EventRingTest, ConcurrentProducersNeverLoseAccounting) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  uint64_t dropped_before = DroppedEventCount();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      uint32_t id = InternName("test.ring.concurrent");
+      for (uint64_t i = 0; i < kPerThread; ++i) EmitCounterAdd(id, 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  FlushEventRings();
+  // Producers can outrun the 1ms drainer and overflow their rings; the
+  // invariant is lossless accounting, not lossless delivery: every emitted
+  // event is either applied or counted as dropped.
+  uint64_t applied =
+      MetricsRegistry::Global().counter("test.ring.concurrent").Value();
+  uint64_t dropped = DroppedEventCount() - dropped_before;
+  EXPECT_EQ(applied + dropped, kThreads * kPerThread);
+  EXPECT_GT(applied, 0u);
+}
+
+TEST_F(EventRingTest, CapacityFollowsOverride) {
+  SetEventRingSlotsForTesting(128);
+  EXPECT_EQ(EventRingCapacityBytes() % 128, 0u);
+  size_t overridden = EventRingCapacityBytes();
+  SetEventRingSlotsForTesting(0);
+  // Env-derived default (256 KiB unless LCE_EVENT_RING_KB says otherwise)
+  // is far larger than the 128-slot override.
+  EXPECT_GT(EventRingCapacityBytes(), overridden);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace lce

@@ -1,0 +1,170 @@
+#include "src/util/telemetry/profiler.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/fs.h"
+#include "src/util/parallel.h"
+#include "src/util/telemetry/telemetry.h"
+#include "src/util/telemetry/trace.h"
+
+namespace lce {
+namespace telemetry {
+namespace {
+
+// Profiling is driven by the same span stream as tracing; every test starts
+// with both gates off and restores the env-derived state afterwards.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetMetricsEnabledForTesting(1);
+    SetTracePathForTesting("");
+    SetProfilePathForTesting("");
+    ClearTraceForTesting();
+    MetricsRegistry::Global().ResetForTesting();
+  }
+  void TearDown() override {
+    SetMetricsEnabledForTesting(-1);
+    SetTracePathForTesting(nullptr);
+    SetProfilePathForTesting(nullptr);
+    ClearTraceForTesting();
+    MetricsRegistry::Global().ResetForTesting();
+    parallel::SetThreadCountForTesting(0);
+  }
+};
+
+TraceEvent MakeSpan(std::string name, uint64_t id, uint64_t parent,
+                    int64_t dur_us) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.id = id;
+  e.parent_id = parent;
+  e.start_ns = static_cast<int64_t>(id) * 1000;
+  e.dur_ns = dur_us * 1000;
+  return e;
+}
+
+const ProfileNode* FindPath(const std::vector<ProfileNode>& nodes,
+                            const std::string& path) {
+  for (const ProfileNode& n : nodes) {
+    if (n.path == path) return &n;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, BuildProfileAggregatesByPath) {
+  // root (100us) covers two same-named children (60us + 30us); both fold
+  // into one "root;child" node and root keeps 10us of self time.
+  std::vector<TraceEvent> events;
+  events.push_back(MakeSpan("root", 1, 0, 100));
+  events.push_back(MakeSpan("child", 2, 1, 60));
+  events.push_back(MakeSpan("child", 3, 1, 30));
+  std::vector<ProfileNode> nodes = BuildProfile(events);
+  ASSERT_EQ(nodes.size(), 2u);
+
+  const ProfileNode* root = FindPath(nodes, "root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "root");
+  EXPECT_EQ(root->depth, 0);
+  EXPECT_EQ(root->count, 1u);
+  EXPECT_EQ(root->total_ns, 100000);
+  EXPECT_EQ(root->self_ns, 10000);
+
+  const ProfileNode* child = FindPath(nodes, "root;child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->name, "child");
+  EXPECT_EQ(child->depth, 1);
+  EXPECT_EQ(child->count, 2u);
+  EXPECT_EQ(child->total_ns, 90000);
+  EXPECT_EQ(child->self_ns, 90000);
+
+  // Sorted by descending self time: the child path leads.
+  EXPECT_EQ(nodes[0].path, "root;child");
+}
+
+TEST_F(ProfilerTest, OrphansRootThemselvesAndParallelSelfClampsAtZero) {
+  std::vector<TraceEvent> events;
+  // Parent whose two children ran concurrently on pool threads: child time
+  // (8 + 8) exceeds the parent's 10us wall time, so self clamps to zero.
+  events.push_back(MakeSpan("parent", 1, 0, 10));
+  events.push_back(MakeSpan("lane", 2, 1, 8));
+  events.push_back(MakeSpan("lane", 3, 1, 8));
+  // Span whose parent id was never recorded (still open at export): it must
+  // root its own subtree instead of vanishing.
+  events.push_back(MakeSpan("orphan", 5, 99, 7));
+  std::vector<ProfileNode> nodes = BuildProfile(events);
+
+  const ProfileNode* parent = FindPath(nodes, "parent");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->self_ns, 0);
+  EXPECT_EQ(parent->total_ns, 10000);
+
+  const ProfileNode* orphan = FindPath(nodes, "orphan");
+  ASSERT_NE(orphan, nullptr);
+  EXPECT_EQ(orphan->depth, 0);
+  EXPECT_EQ(orphan->total_ns, 7000);
+}
+
+TEST_F(ProfilerTest, ToCollapsedEmitsSelfMicrosAndSanitizesSemicolons) {
+  std::vector<TraceEvent> events;
+  events.push_back(MakeSpan("build;FCN", 1, 0, 50));  // ';' inside a name
+  events.push_back(MakeSpan("MatMul", 2, 1, 50));     // eats all parent time
+  std::string collapsed = ToCollapsed(BuildProfile(events));
+  // The parent's self time is zero, so only the leaf line appears, and the
+  // name's semicolon is rewritten to keep the path separator unambiguous.
+  EXPECT_EQ(collapsed, "build:FCN;MatMul 50\n");
+}
+
+TEST_F(ProfilerTest, PoolSubmittedSpansFoldUnderSubmittingSpan) {
+  // LCE_PROFILE alone (no trace path) must record spans, and work submitted
+  // to the pool must aggregate under the submitting span's path.
+  const std::string path = ::testing::TempDir() + "profiler_test.collapsed";
+  SetProfilePathForTesting(path.c_str());
+  ASSERT_TRUE(ProfileEnabled());
+  ASSERT_FALSE(TraceEnabled());
+  EXPECT_EQ(ProfilePath(), path);
+
+  parallel::SetThreadCountForTesting(4);
+  {
+    TraceSpan submit("profile_root");
+    parallel::ParallelFor(0, 16, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        TraceSpan span("pool_leaf");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<ProfileNode> nodes = SnapshotProfileForTesting();
+  const ProfileNode* root = FindPath(nodes, "profile_root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->count, 1u);
+
+  // Leaves may sit directly under the root or under an intermediate pool
+  // span, but every one of the 16 must fold into the root's subtree.
+  uint64_t leaves = 0;
+  for (const ProfileNode& n : nodes) {
+    if (n.name != "pool_leaf") continue;
+    EXPECT_EQ(n.path.rfind("profile_root;", 0), 0u) << n.path;
+    EXPECT_GE(n.depth, 1);
+    leaves += n.count;
+  }
+  EXPECT_EQ(leaves, 16u);
+
+  // The export path writes those same nodes as collapsed stacks.
+  ASSERT_TRUE(WriteProfileNow().ok());
+  std::string contents;
+  ASSERT_TRUE(fs::ReadFileToString(path, &contents).ok());
+  EXPECT_NE(contents.find("pool_leaf"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace lce

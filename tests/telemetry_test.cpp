@@ -17,6 +17,7 @@
 #include "src/storage/datagen.h"
 #include "src/util/json_writer.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/event_ring.h"
 #include "src/util/telemetry/run_manifest.h"
 #include "src/util/telemetry/trace.h"
 #include "src/workload/generator.h"
@@ -107,6 +108,8 @@ TEST_F(TelemetryTest, ScopedPhaseAccumulatesUnderPhaseScope) {
     ScopedPhase phase("unit/step");
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+  // Phase counters flow through the event ring; drain it before reading.
+  FlushEventRings();
   uint64_t ns =
       MetricsRegistry::Global().counter("phase.EstA:unit/step.ns").Value();
   uint64_t calls =

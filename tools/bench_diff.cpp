@@ -1,7 +1,7 @@
 // bench_diff: compare two bench run manifests and gate on watched metrics.
 //
-//   bench_diff BASELINE.json CURRENT.json [--rel-tol X] [--watch SUBSTR]...
-//              [--ignore SUBSTR]... [--markdown PATH]
+//   bench_diff BASELINE.json CURRENT.json [--rel-tol X] [--abs-tol X]
+//              [--watch SUBSTR]... [--ignore SUBSTR]... [--markdown PATH]
 //
 // Prints a markdown report to stdout (and to --markdown PATH when given).
 // Exit codes: 0 no regression, 1 watched metric regressed (or vanished),
@@ -27,6 +27,10 @@ int Usage(const char* argv0) {
       "\n"
       "options:\n"
       "  --rel-tol X       relative regression tolerance (default 0.25)\n"
+      "  --abs-tol X       absolute slack: changes smaller than X in\n"
+      "                    magnitude never count, regardless of relative\n"
+      "                    size (default 0; for tiny-baseline metrics like\n"
+      "                    per-event nanoseconds)\n"
       "  --watch SUBSTR    gate metrics whose name contains SUBSTR; first\n"
       "                    use replaces the default watch list (\"qerr\"),\n"
       "                    repeat to watch several substrings\n"
@@ -56,6 +60,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.rel_tol = std::atof(v);
+    } else if (std::strcmp(arg, "--abs-tol") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.abs_tol = std::atof(v);
     } else if (std::strcmp(arg, "--watch") == 0) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

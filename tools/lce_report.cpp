@@ -1,14 +1,19 @@
 // lce_report: aggregate bench run manifests and training logs into one
 // markdown dashboard.
 //
-//   lce_report [DIR|MANIFEST.json]... [--train-log PATH]... [--out PATH]
+//   lce_report [DIR|MANIFEST.json]... [--train-log PATH]...
+//              [--profile PATH]... [--out PATH]
 //
 // Positional arguments are run-manifest files or directories to scan for
 // BENCH_manifest_*.json (non-recursive). Training logs are picked up from
 // --train-log flags plus any existing `train_log` paths the manifests
-// recorded. The report joins the manifests' model cards, memory accounting,
-// and drift alerts with per-model training summaries into the
-// accuracy-vs-train-cost-vs-footprint view DESIGN.md §9 describes.
+// recorded; collapsed-stack profiles likewise from --profile flags plus the
+// manifests' `profile_path`. The report joins the manifests' model cards,
+// memory accounting, and drift alerts with per-model training summaries into
+// the accuracy-vs-train-cost-vs-footprint view DESIGN.md §9 describes, adds
+// the per-query stage decomposition (encode/featurize -> forward/traverse ->
+// postprocess) recorded by the estimators' stage timers, and renders the
+// top hot paths of any profiles.
 //
 // Prints markdown to stdout (and to --out PATH when given). Exit codes:
 // 0 report rendered, 2 usage / IO / parse error (a missing or malformed
@@ -17,6 +22,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -34,7 +40,7 @@ using lce::json::JsonValue;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [DIR|MANIFEST.json]... [--train-log PATH]... "
-               "[--out PATH]\n",
+               "[--profile PATH]... [--out PATH]\n",
                argv0);
   return 2;
 }
@@ -311,6 +317,183 @@ void RenderDrift(const std::vector<Manifest>& manifests, std::string* out) {
   *out += "\n";
 }
 
+// Per-query stage decomposition: the estimators' stage timers feed
+// ce.<model>.stage.<stage>.micros histograms (per-query microseconds) and a
+// ce.<model>.latency.micros whole-call histogram. Coverage is the stage
+// means summed against the latency mean — near 100% when the stages tile
+// the estimate path.
+void RenderStages(const std::vector<Manifest>& manifests, std::string* out) {
+  *out += "## Stage latency decomposition\n\n";
+  struct StageRow {
+    std::string stage;
+    double mean = 0, p95 = 0, count = 0;
+  };
+  struct ModelStages {
+    std::vector<StageRow> stages;
+    double latency_mean = -1, latency_p95 = 0;
+  };
+  bool any = false;
+  std::string table =
+      "| bench | model | stage | mean µs | p95 µs | queries | share |\n"
+      "|---|---|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* metrics = Find(m.root, "metrics");
+    const JsonValue* hists =
+        metrics != nullptr ? Find(*metrics, "histograms") : nullptr;
+    if (hists == nullptr || hists->kind != JsonValue::Kind::kObject) continue;
+    std::map<std::string, ModelStages> by_model;
+    for (const auto& [name, h] : hists->object) {
+      if (name.rfind("ce.", 0) != 0) continue;
+      size_t stage_at = name.find(".stage.");
+      size_t latency_at = name.find(".latency.micros");
+      if (stage_at != std::string::npos &&
+          name.size() > stage_at + 7 &&
+          name.compare(name.size() - 7, 7, ".micros") == 0) {
+        StageRow row;
+        row.stage = name.substr(stage_at + 7,
+                                name.size() - stage_at - 7 - 7);
+        GetNumber(h, "mean", &row.mean);
+        GetNumber(h, "p95", &row.p95);
+        GetNumber(h, "count", &row.count);
+        by_model[name.substr(3, stage_at - 3)].stages.push_back(row);
+      } else if (latency_at != std::string::npos) {
+        ModelStages& ms = by_model[name.substr(3, latency_at - 3)];
+        GetNumber(h, "mean", &ms.latency_mean);
+        GetNumber(h, "p95", &ms.latency_p95);
+      }
+    }
+    const std::string bench = GetString(m.root, "bench");
+    // encode -> forward/traverse -> postprocess reads better than
+    // alphabetical.
+    auto stage_rank = [](const std::string& s) {
+      if (s == "encode") return 0;
+      if (s == "forward" || s == "traverse") return 1;
+      if (s == "postprocess") return 2;
+      return 3;
+    };
+    for (auto& [model, ms] : by_model) {
+      if (ms.stages.empty()) continue;
+      any = true;
+      std::sort(ms.stages.begin(), ms.stages.end(),
+                [&](const StageRow& a, const StageRow& b) {
+                  return stage_rank(a.stage) < stage_rank(b.stage);
+                });
+      double stage_sum = 0;
+      for (const StageRow& s : ms.stages) {
+        stage_sum += s.mean;
+        std::string share = "-";
+        if (ms.latency_mean > 0) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.0f%%",
+                        100.0 * s.mean / ms.latency_mean);
+          share = buf;
+        }
+        Append(&table, "| %s | %s | %s | %s | %s | %s | %s |\n",
+               bench.c_str(), model.c_str(), s.stage.c_str(),
+               Num(s.mean).c_str(), Num(s.p95).c_str(), Num(s.count).c_str(),
+               share.c_str());
+      }
+      if (ms.latency_mean > 0) {
+        char cov[32];
+        std::snprintf(cov, sizeof(cov), "%.0f%%",
+                      100.0 * stage_sum / ms.latency_mean);
+        Append(&table,
+               "| %s | %s | **total vs latency** | %s | %s | | **%s** |\n",
+               bench.c_str(), model.c_str(), Num(stage_sum).c_str(),
+               Num(ms.latency_mean).c_str(), cov);
+      }
+    }
+  }
+  *out += any ? table : "No stage histograms recorded (set LCE_METRICS=1).\n";
+  *out += "\n";
+}
+
+// Full percentile spread for every histogram in the manifests, including the
+// p99.9 tail and the exact min/max.
+void RenderHistograms(const std::vector<Manifest>& manifests,
+                      std::string* out) {
+  *out += "## Histograms\n\n";
+  bool any = false;
+  std::string table =
+      "| bench | histogram | count | mean | p50 | p95 | p99 | p99.9 | min |"
+      " max |\n|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* metrics = Find(m.root, "metrics");
+    const JsonValue* hists =
+        metrics != nullptr ? Find(*metrics, "histograms") : nullptr;
+    if (hists == nullptr || hists->kind != JsonValue::Kind::kObject) continue;
+    const std::string bench = GetString(m.root, "bench");
+    for (const auto& [name, h] : hists->object) {
+      any = true;
+      Append(&table,
+             "| %s | `%s` | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+             bench.c_str(), name.c_str(), NumCell(h, "count").c_str(),
+             NumCell(h, "mean").c_str(), NumCell(h, "p50").c_str(),
+             NumCell(h, "p95").c_str(), NumCell(h, "p99").c_str(),
+             NumCell(h, "p999").c_str(), NumCell(h, "min").c_str(),
+             NumCell(h, "max").c_str());
+    }
+  }
+  *out += any ? table : "No histograms recorded (set LCE_METRICS=1).\n";
+  *out += "\n";
+}
+
+// Top hot paths from collapsed-stack profile files (LCE_PROFILE output;
+// the same format flamegraph.pl and speedscope consume). Each line is
+// "root;child;leaf self_micros"; the table ranks leaves by self time.
+bool RenderProfiles(const std::vector<std::string>& paths, std::string* out,
+                    int top_n = 20) {
+  *out += "## Profile hot paths\n\n";
+  if (paths.empty()) {
+    *out += "No profiles given (run with LCE_PROFILE=1, pass --profile).\n\n";
+    return true;
+  }
+  struct HotPath {
+    std::string path;
+    double self_micros = 0;
+  };
+  std::vector<HotPath> rows;
+  double total = 0;
+  for (const std::string& path : paths) {
+    std::string text;
+    lce::Status read = lce::fs::ReadFileToString(path, &text);
+    if (!read.ok()) {
+      std::fprintf(stderr, "lce_report: %s\n", read.ToString().c_str());
+      return false;
+    }
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t end = text.find('\n', pos);
+      if (end == std::string::npos) end = text.size();
+      std::string line = text.substr(pos, end - pos);
+      pos = end + 1;
+      size_t space = line.rfind(' ');
+      if (space == std::string::npos || space == 0) continue;
+      HotPath hp;
+      hp.path = line.substr(0, space);
+      hp.self_micros = std::atof(line.c_str() + space + 1);
+      total += hp.self_micros;
+      rows.push_back(std::move(hp));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const HotPath& a, const HotPath& b) {
+    return a.self_micros > b.self_micros;
+  });
+  if (rows.size() > static_cast<size_t>(top_n)) rows.resize(top_n);
+  Append(out, "Top %d paths by self time (of %s µs total):\n\n",
+         static_cast<int>(rows.size()), Num(total).c_str());
+  *out += "| self µs | % | path |\n|---|---|---|\n";
+  for (const HotPath& r : rows) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.1f%%",
+                  total > 0 ? 100.0 * r.self_micros / total : 0.0);
+    Append(out, "| %s | %s | `%s` |\n", Num(r.self_micros).c_str(), pct,
+           r.path.c_str());
+  }
+  *out += "\n";
+  return true;
+}
+
 void RenderTraining(const std::map<std::string, TrainSummary>& by_model,
                     std::string* out) {
   *out += "## Training log\n\n";
@@ -340,6 +523,7 @@ void RenderTraining(const std::map<std::string, TrainSummary>& by_model,
 int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::vector<std::string> train_logs;
+  std::vector<std::string> profiles;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -350,6 +534,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       train_logs.push_back(v);
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      profiles.push_back(v);
     } else if (std::strcmp(arg, "--out") == 0) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -377,10 +565,19 @@ int main(int argc, char** argv) {
       std::error_code ec;
       if (fs::exists(tl->string, ec)) train_logs.push_back(tl->string);
     }
+    const JsonValue* pp = Find(m.root, "profile_path");
+    if (pp != nullptr && pp->kind == JsonValue::Kind::kString &&
+        !pp->string.empty()) {
+      std::error_code ec;
+      if (fs::exists(pp->string, ec)) profiles.push_back(pp->string);
+    }
   }
   std::sort(train_logs.begin(), train_logs.end());
   train_logs.erase(std::unique(train_logs.begin(), train_logs.end()),
                    train_logs.end());
+  std::sort(profiles.begin(), profiles.end());
+  profiles.erase(std::unique(profiles.begin(), profiles.end()),
+                 profiles.end());
   std::map<std::string, TrainSummary> by_model;
   for (const std::string& path : train_logs) {
     if (!LoadTrainLog(path, &by_model)) return 2;
@@ -396,6 +593,9 @@ int main(int argc, char** argv) {
   md += ".\n\n";
   RenderRuns(manifests, &md);
   RenderModelCards(manifests, &md);
+  RenderStages(manifests, &md);
+  RenderHistograms(manifests, &md);
+  if (!RenderProfiles(profiles, &md)) return 2;
   RenderMemory(manifests, &md);
   RenderDrift(manifests, &md);
   RenderTraining(by_model, &md);
