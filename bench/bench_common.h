@@ -21,6 +21,7 @@
 #include "src/util/parallel.h"
 #include "src/util/table_printer.h"
 #include "src/util/telemetry/memory.h"
+#include "src/util/telemetry/metrics_snapshot.h"
 #include "src/util/telemetry/model_card.h"
 #include "src/util/telemetry/profiler.h"
 #include "src/util/telemetry/query_log.h"
@@ -205,6 +206,7 @@ class BenchRun {
         timer_.ElapsedSeconds());
     telemetry::WriteTraceIfEnabled();
     telemetry::WriteProfileIfEnabled();
+    telemetry::WriteMetricsSnapshotIfEnabled();
   }
   BenchRun(const BenchRun&) = delete;
   BenchRun& operator=(const BenchRun&) = delete;

@@ -13,10 +13,11 @@
 //
 //   2. End-to-end ratio: a small build+evaluate workload (the bench_r2
 //      shape: generate, label, build three estimator families, evaluate)
-//      run twice — all gates off, then LCE_METRICS + LCE_TRACE +
-//      LCE_QUERY_LOG all on — and the wall-clock ratio recorded as
-//      telemetry.overhead.e2e_ratio. The repo's acceptance bar is full
-//      telemetry within 5% of off.
+//      run per gate combination — all off; metrics; metrics+query log;
+//      metrics+trace+query log; flight recorder alone; everything plus the
+//      flight recorder — and wall-clock ratios recorded as
+//      telemetry.overhead.e2e_ratio{,_fr,_full_fr}. The repo's acceptance
+//      bar is every ratio within 5% of off.
 //
 // Gates are toggled in-process through the *ForTesting overrides, so one
 // binary measures both sides with identical code and data.
@@ -35,6 +36,7 @@
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/telemetry/event_ring.h"
+#include "src/util/telemetry/flight_recorder.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/stage_timer.h"
 #include "src/util/telemetry/telemetry.h"
@@ -82,6 +84,9 @@ struct PrimitiveCost {
 std::vector<PrimitiveCost> MeasurePrimitives(const std::string& trace_path) {
   using telemetry::MetricsRegistry;
   std::vector<PrimitiveCost> costs;
+  // The flight recorder defaults on; pin it off so the other primitives'
+  // "off" sides measure the pure gate cost. Its own row toggles it back.
+  telemetry::SetFlightRecorderEnabledForTesting(0);
   auto& registry = MetricsRegistry::Global();
   telemetry::Counter& counter = registry.counter("bench.overhead.counter");
   telemetry::Histogram& hist = registry.histogram("bench.overhead.hist");
@@ -133,6 +138,44 @@ std::vector<PrimitiveCost> MeasurePrimitives(const std::string& trace_path) {
       Consume(i);
     }
   }, false);
+
+  // fr_record: a realistic ForensicRecord (two tables, two predicates with
+  // attributed selectivities) through FlightRecorder::Append — the full copy,
+  // hash fill, seqlock publish, and trigger checks. Gated by the recorder's
+  // own knob rather than LCE_METRICS, so this row toggles that instead.
+  {
+    telemetry::ForensicRecord proto;
+    telemetry::SetFrName(proto.estimator, sizeof(proto.estimator),
+                         "BenchModel");
+    telemetry::SetFrName(proto.scope, sizeof(proto.scope), "bench");
+    proto.estimate = 123.0;
+    proto.truth = 120.0;
+    proto.qerror = 1.025;
+    proto.latency_us = 42.0;
+    proto.num_tables = 2;
+    proto.tables_recorded = 2;
+    proto.tables[0] = 0;
+    proto.tables[1] = 1;
+    proto.num_joins = 1;
+    proto.num_predicates = 2;
+    proto.preds_recorded = 2;
+    for (int16_t p = 0; p < 2; ++p) {
+      proto.preds[p] = {p, 3, 10, 1000, 0.25};
+    }
+    PrimitiveCost c;
+    c.name = "fr_record";
+    auto body = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        telemetry::ForensicRecord rec = proto;  // callers build fresh records
+        Consume(telemetry::FlightRecorder::Global().Append(rec));
+      }
+    };
+    c.off_ns = TimeNsPerOp(5, 200000, body, flush);
+    telemetry::SetFlightRecorderEnabledForTesting(1);
+    c.on_ns = TimeNsPerOp(5, 200000, body, flush);
+    telemetry::SetFlightRecorderEnabledForTesting(0);
+    costs.push_back(c);
+  }
   return costs;
 }
 
@@ -178,11 +221,14 @@ int main() {
       bench::MakeBenchDb(storage::datagen::ImdbLikeSpec(0.04), cfg);
 
   // Gate combinations measured end to end, cheapest to priciest: metrics
-  // alone, metrics + query log, and everything including span tracing.
-  auto set_gates = [&](bool metrics, bool trace, bool qlog) {
+  // alone, metrics + query log, everything including span tracing, the
+  // flight recorder alone, and everything plus the flight recorder. The
+  // recorder defaults on, so the off baseline pins it off explicitly.
+  auto set_gates = [&](bool metrics, bool trace, bool qlog, bool fr) {
     telemetry::SetMetricsEnabledForTesting(metrics ? 1 : 0);
     telemetry::SetTracePathForTesting(trace ? scratch_trace.c_str() : "");
     telemetry::SetQueryLogPathForTesting(qlog ? scratch_qlog.c_str() : "");
+    telemetry::SetFlightRecorderEnabledForTesting(fr ? 1 : 0);
   };
   auto restore_gates = [] {
     telemetry::FlushEventRings();
@@ -190,28 +236,36 @@ int main() {
     telemetry::SetMetricsEnabledForTesting(-1);
     telemetry::SetTracePathForTesting(nullptr);
     telemetry::SetQueryLogPathForTesting(nullptr);
+    telemetry::SetFlightRecorderEnabledForTesting(-1);
   };
 
   // Alternate the configurations and keep the best of each: OS noise is
   // strictly additive, so per-config minima converge to the true floors,
   // and interleaving keeps one-time costs (allocator growth, column sort
   // caches) from inflating whichever side runs first.
-  double off_seconds = 1e300, metrics_seconds = 1e300,
-         qlog_seconds = 1e300, on_seconds = 1e300;
+  double off_seconds = 1e300, metrics_seconds = 1e300, qlog_seconds = 1e300,
+         on_seconds = 1e300, fr_seconds = 1e300, full_fr_seconds = 1e300;
   for (int round = 0; round < 6; ++round) {
-    set_gates(false, false, false);
+    set_gates(false, false, false, false);
     off_seconds = std::min(off_seconds, RunE2eOnce(db, neural));
-    set_gates(true, false, false);
+    set_gates(true, false, false, false);
     metrics_seconds = std::min(metrics_seconds, RunE2eOnce(db, neural));
-    set_gates(true, false, true);
+    set_gates(true, false, true, false);
     qlog_seconds = std::min(qlog_seconds, RunE2eOnce(db, neural));
-    set_gates(true, true, true);
+    set_gates(true, true, true, false);
     on_seconds = std::min(on_seconds, RunE2eOnce(db, neural));
+    set_gates(false, false, false, true);
+    fr_seconds = std::min(fr_seconds, RunE2eOnce(db, neural));
+    set_gates(true, true, true, true);
+    full_fr_seconds = std::min(full_fr_seconds, RunE2eOnce(db, neural));
     telemetry::FlushEventRings();
     telemetry::ClearTraceForTesting();
   }
   restore_gates();
   double ratio = off_seconds > 0 ? on_seconds / off_seconds : 0.0;
+  double ratio_fr = off_seconds > 0 ? fr_seconds / off_seconds : 0.0;
+  double ratio_full_fr =
+      off_seconds > 0 ? full_fr_seconds / off_seconds : 0.0;
 
   // --- report -------------------------------------------------------------
   auto& registry = telemetry::MetricsRegistry::Global();
@@ -224,15 +278,23 @@ int main() {
   }
   std::printf(
       "\ne2e: off %.3fs, +metrics %.3fs, +query log %.3fs, "
-      "+trace %.3fs, full/off ratio %.3f\n",
-      off_seconds, metrics_seconds, qlog_seconds, on_seconds, ratio);
+      "+trace %.3fs, recorder-only %.3fs, full+recorder %.3fs\n"
+      "     full/off %.3f, recorder/off %.3f, full+recorder/off %.3f\n",
+      off_seconds, metrics_seconds, qlog_seconds, on_seconds, fr_seconds,
+      full_fr_seconds, ratio, ratio_fr, ratio_full_fr);
   registry.gauge("telemetry.overhead.e2e_off_seconds").SetAlways(off_seconds);
   registry.gauge("telemetry.overhead.e2e_metrics_seconds")
       .SetAlways(metrics_seconds);
   registry.gauge("telemetry.overhead.e2e_qlog_seconds")
       .SetAlways(qlog_seconds);
   registry.gauge("telemetry.overhead.e2e_on_seconds").SetAlways(on_seconds);
+  registry.gauge("telemetry.overhead.e2e_fr_seconds").SetAlways(fr_seconds);
+  registry.gauge("telemetry.overhead.e2e_full_fr_seconds")
+      .SetAlways(full_fr_seconds);
   registry.gauge("telemetry.overhead.e2e_ratio").SetAlways(ratio);
+  registry.gauge("telemetry.overhead.e2e_ratio_fr").SetAlways(ratio_fr);
+  registry.gauge("telemetry.overhead.e2e_ratio_full_fr")
+      .SetAlways(ratio_full_fr);
   // Informational, deliberately outside the "overhead" watch prefix: the
   // primitive loops push events far faster than the drainer and the drop
   // count swings run to run by design.
@@ -241,6 +303,10 @@ int main() {
   if (ratio > 1.05) {
     LCE_LOG(WARN) << "full telemetry overhead ratio " << ratio
                   << " exceeds the 1.05 target";
+  }
+  if (ratio_full_fr > 1.05) {
+    LCE_LOG(WARN) << "full telemetry + flight recorder overhead ratio "
+                  << ratio_full_fr << " exceeds the 1.05 target";
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "src/exec/executor.h"
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "src/util/json_writer.h"
 #include "src/util/logging.h"
 #include "src/util/parallel.h"
+#include "src/util/telemetry/flight_recorder.h"
 #include "src/util/telemetry/query_log.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/timer.h"
@@ -402,10 +404,49 @@ double Executor::Count(const query::Query& q, const std::vector<int>& tables,
 
 double Executor::Cardinality(const query::Query& q) const {
   CardinalityQueries().Increment();
-  if (log_queries_ && telemetry::QueryLogEnabled()) {
+  const bool log = log_queries_ && telemetry::QueryLogEnabled();
+  const bool fr_on = log_queries_ && telemetry::FlightRecorderEnabled();
+  if (log || fr_on) {
     Timer timer;
     double card = Count(q, q.tables, q.join_edges);
     double micros = timer.ElapsedMicros();
+    if (fr_on) {
+      // Oracle records give postmortems the ground-truth context around an
+      // estimator's bad estimate: kind 'x', estimate == truth by definition.
+      telemetry::ForensicRecord fr;
+      fr.kind = 'x';
+      telemetry::SetFrName(fr.estimator, sizeof(fr.estimator), "exec.oracle");
+      telemetry::SetFrName(fr.scope, sizeof(fr.scope),
+                           telemetry::PhaseScope::Current());
+      fr.estimate = card;
+      fr.truth = card;
+      fr.qerror = 1.0;
+      fr.latency_us = micros;
+      fr.num_tables = static_cast<uint16_t>(q.tables.size());
+      fr.num_joins = static_cast<uint16_t>(q.num_joins());
+      fr.num_predicates = static_cast<uint16_t>(q.predicates.size());
+      int nt = std::min<int>(telemetry::kFrMaxTables,
+                             static_cast<int>(q.tables.size()));
+      for (int i = 0; i < nt; ++i) {
+        fr.tables[i] = static_cast<int16_t>(q.tables[static_cast<size_t>(i)]);
+      }
+      fr.tables_recorded = static_cast<uint8_t>(nt);
+      int np = std::min<int>(telemetry::kFrMaxPredicates,
+                             static_cast<int>(q.predicates.size()));
+      for (int i = 0; i < np; ++i) {
+        const query::Predicate& p = q.predicates[static_cast<size_t>(i)];
+        fr.preds[i].table = static_cast<int16_t>(p.col.table);
+        fr.preds[i].column = static_cast<int16_t>(p.col.column);
+        fr.preds[i].lo = p.lo;
+        fr.preds[i].hi = p.hi;
+      }
+      fr.preds_recorded = static_cast<uint8_t>(np);
+      // Oracle latency is a different population from estimator latency;
+      // keep these records out of the latency trigger's rolling window.
+      telemetry::FlightRecorder::Global().Append(fr,
+                                                 /*trigger_eligible=*/false);
+    }
+    if (!log) return card;
     // Same top-level keys as ce::ExplainRecord::ToJsonLine so one parser
     // reads the whole log; estimate == truth for the oracle by definition.
     std::string line;

@@ -146,6 +146,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_->append(json);
+  return *this;
+}
+
 bool JsonWriter::done() const { return root_written_ && stack_.empty(); }
 
 void JsonWriter::AppendEscaped(std::string_view s) {

@@ -56,6 +56,11 @@ class JsonWriter {
   JsonWriter& Value(double v);  // non-finite values emit null (JSON has no NaN)
   JsonWriter& Null();
 
+  /// Splices `json` verbatim where a value is expected (comma/indent handled
+  /// as for Value). The caller guarantees `json` is one well-formed JSON
+  /// value; used to embed pre-serialized records without re-parsing.
+  JsonWriter& RawValue(std::string_view json);
+
   /// True once the single top-level value is complete.
   bool done() const;
 

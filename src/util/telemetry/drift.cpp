@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "src/util/telemetry/flight_recorder.h"
 #include "src/util/telemetry/telemetry.h"
 
 namespace lce {
@@ -65,6 +66,10 @@ void DriftMonitor::Observe(double qerror) {
                      history_.begin() + (history_.size() - kAlertHistory));
     }
     reg.counter("drift.alerts").AddAlways(1);
+    // Alert edge = flight-recorder trigger (LCE_FR_DRIFT). The recorder
+    // takes its own locks but never calls back into drift monitors.
+    FlightRecorder::Global().TriggerDriftAlert(name_, p95,
+                                               options_.threshold_p95);
   }
   above_ = now_above;
 }

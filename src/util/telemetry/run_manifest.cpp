@@ -15,6 +15,7 @@
 #include "src/util/parallel.h"
 #include "src/util/telemetry/drift.h"
 #include "src/util/telemetry/event_ring.h"
+#include "src/util/telemetry/flight_recorder.h"
 #include "src/util/telemetry/memory.h"
 #include "src/util/telemetry/model_card.h"
 #include "src/util/telemetry/profiler.h"
@@ -146,6 +147,15 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_FASTMATH");
   WriteEnvEntry(&w, "LCE_PROFILE");
   WriteEnvEntry(&w, "LCE_EVENT_RING_KB");
+  WriteEnvEntry(&w, "LCE_FLIGHT_RECORDER");
+  WriteEnvEntry(&w, "LCE_FR_QERR_TRIGGER");
+  WriteEnvEntry(&w, "LCE_FR_LAT_TRIGGER");
+  WriteEnvEntry(&w, "LCE_FR_DRIFT");
+  WriteEnvEntry(&w, "LCE_FR_SIGNAL");
+  WriteEnvEntry(&w, "LCE_FR_DIR");
+  WriteEnvEntry(&w, "LCE_FR_RING");
+  WriteEnvEntry(&w, "LCE_FR_MAX_BUNDLES");
+  WriteEnvEntry(&w, "LCE_METRICS_SNAPSHOT");
   w.EndObject();
   // Mirrors exec::OracleIndexEnabled()'s env parse (telemetry cannot depend
   // on exec); test-only overrides are not reflected here.
@@ -224,6 +234,8 @@ std::string RunManifestJson(const std::string& bench_name,
         .EndObject();
   }
   w.EndArray();
+  w.Key("flight_recorder");
+  FlightRecorder::Global().WriteJson(&w);
   w.Key("phases");
   WritePhaseBreakdown(&w);
   w.Key("metrics");

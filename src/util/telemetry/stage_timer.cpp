@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/util/telemetry/event_ring.h"
+#include "src/util/telemetry/flight_recorder.h"
 #include "src/util/telemetry/telemetry.h"
 #include "src/util/telemetry/trace.h"
 
@@ -59,17 +60,21 @@ uint32_t LatencyHistId(const std::string& model) {
 }  // namespace
 
 bool StageTimer::ShouldActivate() {
-  return MetricsEnabled() || SpanRecordingEnabled();
+  return MetricsEnabled() || SpanRecordingEnabled() || FlightRecorderEnabled();
 }
 
 void StageTimer::Activate(std::string model, uint64_t batch) {
   active_ = true;
   metrics_on_ = MetricsEnabled();
   spans_on_ = SpanRecordingEnabled();
+  fr_on_ = FlightRecorderEnabled();
   batch_ = batch == 0 ? 1 : batch;
   model_ = std::move(model);
   prev_ = tls_innermost_timer;
   tls_innermost_timer = this;
+  // A top-level timer starts a fresh per-query stage capture; nested timers
+  // (wrapper estimators) append to the same query's samples.
+  if (fr_on_ && prev_ == nullptr) internal::ResetThreadStageSamples();
   begin_ns_ = MonotonicNanos();
 }
 
@@ -81,10 +86,13 @@ void StageTimer::CloseOpenStage(int64_t now_ns) {
                   internal::CurrentTraceTid(), open_span_id_, open_parent_id_,
                   nullptr, 0);
   }
-  if (metrics_on_) {
+  if (metrics_on_ || fr_on_) {
     double micros = static_cast<double>(now_ns - open_start_ns_) /
                     (1e3 * static_cast<double>(batch_));
-    EmitHistogram(StageHistId(model_, open_stage_), micros, batch_);
+    if (metrics_on_) {
+      EmitHistogram(StageHistId(model_, open_stage_), micros, batch_);
+    }
+    if (fr_on_) internal::NoteThreadStageSample(open_stage_, micros);
   }
   open_stage_ = nullptr;
 }

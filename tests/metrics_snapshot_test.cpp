@@ -1,0 +1,95 @@
+#include "src/util/telemetry/metrics_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/util/fs.h"
+#include "src/util/telemetry/telemetry.h"
+
+namespace lce {
+namespace telemetry {
+namespace {
+
+class MetricsSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "lce_metrics_snapshot_test.txt";
+    SetMetricsEnabledForTesting(1);
+  }
+  void TearDown() override {
+    SetMetricsSnapshotPathForTesting(nullptr);
+    SetMetricsEnabledForTesting(-1);
+  }
+  std::string path_;
+};
+
+TEST_F(MetricsSnapshotTest, PrometheusNameSanitizes) {
+  EXPECT_EQ(PrometheusName("telemetry.fr.records"),
+            "lce_telemetry_fr_records");
+  EXPECT_EQ(PrometheusName("ce.LW-XGB.latency.micros"),
+            "lce_ce_LW_XGB_latency_micros");
+  EXPECT_EQ(PrometheusName("already_ok:name"), "lce_already_ok:name");
+}
+
+TEST_F(MetricsSnapshotTest, EnabledFollowsPathOverride) {
+  SetMetricsSnapshotPathForTesting("");
+  EXPECT_FALSE(MetricsSnapshotEnabled());
+  SetMetricsSnapshotPathForTesting(path_.c_str());
+  EXPECT_TRUE(MetricsSnapshotEnabled());
+  EXPECT_EQ(MetricsSnapshotPath(), path_);
+}
+
+TEST_F(MetricsSnapshotTest, RenderContainsCountersGaugesAndHistogramDigests) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("snaptest.counter").AddAlways(3);
+  reg.gauge("snaptest.gauge").SetAlways(2.5);
+  reg.histogram("snaptest.hist").ObserveAlways(10.0);
+  reg.histogram("snaptest.hist").ObserveAlways(30.0);
+
+  std::string text = RenderMetricsSnapshot();
+  EXPECT_EQ(text.rfind("# lce metrics snapshot", 0), 0u) << text.substr(0, 80);
+  EXPECT_NE(text.find("lce_snaptest_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lce_snaptest_gauge 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lce_snaptest_hist_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lce_snaptest_hist_sum 40\n"), std::string::npos);
+  EXPECT_NE(text.find("lce_snaptest_hist_mean 20\n"), std::string::npos);
+  EXPECT_NE(text.find("lce_snaptest_hist_p95 "), std::string::npos);
+  // Exactly one space-separated value per line, no tabs or trailing spaces.
+  size_t start = text.find('\n') + 1;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = text.substr(start, end - start);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 1) << line;
+    start = end + 1;
+  }
+}
+
+TEST_F(MetricsSnapshotTest, WriteNowRoundTripsThroughFile) {
+  MetricsRegistry::Global().counter("snaptest.write").AddAlways(1);
+  ASSERT_TRUE(WriteMetricsSnapshotNow(path_).ok());
+  std::string text;
+  ASSERT_TRUE(fs::ReadFileToString(path_, &text).ok());
+  EXPECT_NE(text.find("lce_snaptest_write "), std::string::npos);
+  EXPECT_FALSE(WriteMetricsSnapshotNow("").ok());
+}
+
+TEST_F(MetricsSnapshotTest, WriteIfEnabledHonorsTheGate) {
+  std::string gated = path_ + ".gated";
+  std::remove(gated.c_str());
+  SetMetricsSnapshotPathForTesting("");
+  WriteMetricsSnapshotIfEnabled();  // disabled: writes nothing
+  std::string text;
+  EXPECT_FALSE(fs::ReadFileToString(gated, &text).ok());
+  SetMetricsSnapshotPathForTesting(gated.c_str());
+  WriteMetricsSnapshotIfEnabled();
+  EXPECT_TRUE(fs::ReadFileToString(gated, &text).ok());
+  EXPECT_EQ(text.rfind("# lce metrics snapshot", 0), 0u);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace lce

@@ -162,8 +162,12 @@ bool LoadTrainLog(const std::string& path,
   std::string text;
   lce::Status read = lce::fs::ReadFileToString(path, &text);
   if (!read.ok()) {
-    std::fprintf(stderr, "lce_report: %s\n", read.ToString().c_str());
-    return false;
+    // A training log that has vanished (cleaned bench/out, partial CI
+    // artifact) degrades the training section to n/a rows; it should not
+    // kill the whole report.
+    std::fprintf(stderr, "lce_report: warning: skipping train log: %s\n",
+                 read.ToString().c_str());
+    return true;
   }
   size_t pos = 0;
   int64_t line_no = 0;
@@ -246,8 +250,17 @@ void RenderModelCards(const std::vector<Manifest>& manifests,
       "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
   for (const Manifest& m : manifests) {
     const JsonValue* cards = Find(m.root, "model_cards");
-    if (cards == nullptr || cards->kind != JsonValue::Kind::kArray) continue;
     const std::string bench = GetString(m.root, "bench");
+    if (cards == nullptr || cards->kind != JsonValue::Kind::kArray ||
+        cards->array.empty()) {
+      // Partial input (old manifest, run without estimators): keep the run
+      // visible as an n/a row rather than dropping it from the section.
+      any = true;
+      Append(&table,
+             "| %s | n/a | n/a | n/a | - | - | - | - | - | - | - | - |\n",
+             bench.c_str());
+      continue;
+    }
     for (const JsonValue& card : cards->array) {
       any = true;
       std::string p50 = "-", p95 = "-";
@@ -303,8 +316,15 @@ void RenderDrift(const std::vector<Manifest>& manifests, std::string* out) {
       "|---|---|---|---|---|\n";
   for (const Manifest& m : manifests) {
     const JsonValue* alerts = Find(m.root, "drift_alerts");
-    if (alerts == nullptr || alerts->kind != JsonValue::Kind::kArray) continue;
     const std::string bench = GetString(m.root, "bench");
+    if (alerts == nullptr || alerts->kind != JsonValue::Kind::kArray ||
+        alerts->array.empty()) {
+      // Empty or missing history still names the run: "none fired" is a
+      // finding, not an absence of data.
+      any = true;
+      Append(&table, "| %s | n/a (none fired) | - | - | - |\n", bench.c_str());
+      continue;
+    }
     for (const JsonValue& a : alerts->array) {
       any = true;
       Append(&table, "| %s | %s | %s | %s | %s |\n", bench.c_str(),
@@ -314,6 +334,68 @@ void RenderDrift(const std::vector<Manifest>& manifests, std::string* out) {
     }
   }
   *out += any ? table : "No drift alerts fired.\n";
+  *out += "\n";
+}
+
+// Flight-recorder activity: per-run record counts, trigger counters, and the
+// postmortem bundles written (with whether each is still on disk, so a CI
+// report points straight at the artifact to download).
+void RenderPostmortems(const std::vector<Manifest>& manifests,
+                       std::string* out) {
+  *out += "## Postmortem bundles\n\n";
+  bool any_bundle = false;
+  std::string summary =
+      "| bench | recorder | records | triggers |\n|---|---|---|---|\n";
+  std::string bundles =
+      "| bench | trigger | offending seq | bundle |\n|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const std::string bench = GetString(m.root, "bench");
+    const JsonValue* fr = Find(m.root, "flight_recorder");
+    if (fr == nullptr || fr->kind != JsonValue::Kind::kObject) {
+      Append(&summary, "| %s | n/a (pre-recorder manifest) | - | - |\n",
+             bench.c_str());
+      continue;
+    }
+    const JsonValue* enabled = Find(*fr, "enabled");
+    bool on = enabled != nullptr && enabled->kind == JsonValue::Kind::kBool &&
+              enabled->boolean;
+    std::string triggers = "-";
+    if (const JsonValue* counts = Find(*fr, "triggers");
+        counts != nullptr && counts->kind == JsonValue::Kind::kObject) {
+      std::string parts;
+      for (const auto& [kind, v] : counts->object) {
+        if (v.kind == JsonValue::Kind::kNumber && v.number > 0) {
+          if (!parts.empty()) parts += ", ";
+          parts += kind + "=" + Num(v.number);
+        }
+      }
+      if (!parts.empty()) triggers = parts;
+    }
+    Append(&summary, "| %s | %s | %s | %s |\n", bench.c_str(),
+           on ? "on" : "off", NumCell(*fr, "records").c_str(),
+           triggers.c_str());
+    if (const JsonValue* list = Find(*fr, "bundles");
+        list != nullptr && list->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& bundle : list->array) {
+        any_bundle = true;
+        const std::string path = GetString(bundle, "path", "?");
+        std::error_code ec;
+        bool present = fs::exists(path, ec);
+        Append(&bundles, "| %s | %s | %s | `%s`%s |\n", bench.c_str(),
+               GetString(bundle, "trigger").c_str(),
+               NumCell(bundle, "seq").c_str(), path.c_str(),
+               present ? "" : " (missing on disk)");
+      }
+    }
+  }
+  *out += summary;
+  *out += "\n";
+  if (any_bundle) {
+    *out += bundles;
+    *out += "\nRender any bundle with `lce_postmortem <bundle-dir>`.\n";
+  } else {
+    *out += "No postmortem bundles written.\n";
+  }
   *out += "\n";
 }
 
@@ -598,6 +680,7 @@ int main(int argc, char** argv) {
   if (!RenderProfiles(profiles, &md)) return 2;
   RenderMemory(manifests, &md);
   RenderDrift(manifests, &md);
+  RenderPostmortems(manifests, &md);
   RenderTraining(by_model, &md);
 
   std::fputs(md.c_str(), stdout);
