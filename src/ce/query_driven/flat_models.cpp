@@ -5,6 +5,31 @@
 namespace lce {
 namespace ce {
 
+namespace {
+
+// Shared batched pass of the flat family: encode every query, stack the
+// encodings into one N x d matrix, and run a single multi-row forward —
+// each MatMulBiasAct computes all N rows in one kernel call instead of N
+// GEMVs. Row values are bit-identical to per-query forwards (matrix.h).
+void FlatForwardBatch(const query::QueryEncoder& encoder,
+                      query::FlatVariant variant, nn::Mlp* net,
+                      const std::vector<query::Query>& queries,
+                      std::vector<float>* out) {
+  telemetry::StageTimer::Mark("encode");
+  std::vector<std::vector<float>> rows;
+  rows.reserve(queries.size());
+  for (const query::Query& q : queries) {
+    rows.push_back(encoder.FlatEncode(q, variant));
+  }
+  nn::Matrix x = nn::Matrix::Stack(rows);
+  telemetry::StageTimer::Mark("forward");
+  nn::Matrix y = net->Forward(x);
+  out->resize(queries.size());
+  for (int i = 0; i < y.rows(); ++i) (*out)[i] = y.At(i, 0);
+}
+
+}  // namespace
+
 void LinearEstimator::InitModel(Rng* rng) {
   int in = encoder().flat_dim_for(options_.flat_variant);
   net_ = std::make_unique<nn::Mlp>(std::vector<int>{in, 1},
@@ -20,6 +45,11 @@ float LinearEstimator::ForwardOne(const query::Query& q) {
   nn::Matrix x = nn::Matrix::Row(last_flat_);
   telemetry::StageTimer::Mark("forward");
   return net_->Forward(x).Scalar();
+}
+
+void LinearEstimator::ForwardBatch(const std::vector<query::Query>& queries,
+                                   std::vector<float>* out) {
+  FlatForwardBatch(encoder(), options_.flat_variant, net_.get(), queries, out);
 }
 
 void LinearEstimator::BackwardOne(float dpred) {
@@ -45,6 +75,11 @@ float FcnEstimator::ForwardOne(const query::Query& q) {
   nn::Matrix x = nn::Matrix::Row(last_flat_);
   telemetry::StageTimer::Mark("forward");
   return net_->Forward(x).Scalar();
+}
+
+void FcnEstimator::ForwardBatch(const std::vector<query::Query>& queries,
+                                std::vector<float>* out) {
+  FlatForwardBatch(encoder(), options_.flat_variant, net_.get(), queries, out);
 }
 
 void FcnEstimator::BackwardOne(float dpred) {

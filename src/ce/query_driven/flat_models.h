@@ -24,6 +24,8 @@ class LinearEstimator : public NeuralQueryDrivenEstimator {
  protected:
   void InitModel(Rng* rng) override;
   float ForwardOne(const query::Query& q) override;
+  void ForwardBatch(const std::vector<query::Query>& queries,
+                    std::vector<float>* out) override;
   void BackwardOne(float dpred) override;
   std::vector<nn::Param*> Params() override { return net_->Params(); }
   size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }
@@ -48,6 +50,8 @@ class FcnEstimator : public NeuralQueryDrivenEstimator {
  protected:
   void InitModel(Rng* rng) override;
   float ForwardOne(const query::Query& q) override;
+  void ForwardBatch(const std::vector<query::Query>& queries,
+                    std::vector<float>* out) override;
   void BackwardOne(float dpred) override;
   std::vector<nn::Param*> Params() override { return net_->Params(); }
   size_t NumParams() const override { return net_ ? net_->NumParams() : 0; }

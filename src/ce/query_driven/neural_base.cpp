@@ -170,6 +170,34 @@ double NeuralQueryDrivenEstimator::EstimateCardinality(const query::Query& q) {
   return encoder_->DenormalizeLog(std::clamp(y, 0.0f, 1.0f));
 }
 
+std::vector<double> NeuralQueryDrivenEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) {
+  LCE_CHECK_MSG(built_, Name() << ": Build() before EstimateBatch()");
+  std::vector<double> out(queries.size());
+  if (queries.empty()) return out;
+  // Batched stages: histograms record per-query microseconds weighted by the
+  // batch size, so batch and per-query paths share one scale.
+  telemetry::StageTimer stages([this] { return Name(); },
+                               static_cast<uint64_t>(queries.size()));
+  std::vector<float> preds;
+  ForwardBatch(queries, &preds);
+  LCE_CHECK(preds.size() == queries.size());
+  telemetry::StageTimer::Mark("postprocess");
+  for (size_t i = 0; i < preds.size(); ++i) {
+    out[i] = encoder_->DenormalizeLog(std::clamp(preds[i], 0.0f, 1.0f));
+  }
+  return out;
+}
+
+void NeuralQueryDrivenEstimator::ForwardBatch(
+    const std::vector<query::Query>& queries, std::vector<float>* out) {
+  // Fallback for subclasses without a vectorized pass: the plain loop, which
+  // satisfies the bit-identity contract trivially.
+  out->clear();
+  out->reserve(queries.size());
+  for (const query::Query& q : queries) out->push_back(ForwardOne(q));
+}
+
 double NeuralQueryDrivenEstimator::EstimateWithDiagnostics(
     const query::Query& q, ExplainRecord* rec) {
   LCE_CHECK_MSG(built_, Name() << ": Build() before EstimateCardinality()");

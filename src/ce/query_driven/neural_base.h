@@ -47,6 +47,12 @@ class NeuralQueryDrivenEstimator : public Estimator {
   Status Build(const storage::Database& db,
                const std::vector<query::LabeledQuery>& training) override;
   double EstimateCardinality(const query::Query& q) override;
+  /// One batched forward for the whole request vector (ForwardBatch), then
+  /// the shared clamp + denormalize tail per query. Bit-identical to the
+  /// per-query loop by the kernel-layer contract.
+  std::vector<double> EstimateBatch(
+      const std::vector<query::Query>& queries) override;
+  bool HasBatchEstimate() const override { return true; }
   double EstimateWithDiagnostics(const query::Query& q,
                                  ExplainRecord* rec) override;
   Status UpdateWithQueries(
@@ -79,6 +85,15 @@ class NeuralQueryDrivenEstimator : public Estimator {
   virtual float ForwardOne(const query::Query& q) = 0;
   /// Backward from dL/d(output scalar) of the most recent ForwardOne.
   virtual void BackwardOne(float dpred) = 0;
+  /// Inference-only batched forward: fills `out` with exactly the values N
+  /// ForwardOne calls would produce, in order (bit-identical — the batched
+  /// kernels accumulate per output element in the same ascending order as
+  /// the per-query GEMVs). May clobber the forward caches BackwardOne
+  /// reads, so it must not be interleaved with training steps. The default
+  /// is the plain loop; the model families override it with genuinely
+  /// vectorized passes.
+  virtual void ForwardBatch(const std::vector<query::Query>& queries,
+                            std::vector<float>* out);
   virtual std::vector<nn::Param*> Params() = 0;
   // Const access for SizeBytes(); default delegates via const_cast-free
   // duplication in subclasses would be noisy, so expose a count instead.

@@ -3,6 +3,7 @@
 #ifndef LCE_CE_QUERY_DRIVEN_RECURRENT_MODELS_H_
 #define LCE_CE_QUERY_DRIVEN_RECURRENT_MODELS_H_
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,26 @@ class RecurrentEstimatorBase : public NeuralQueryDrivenEstimator {
     float pre = head_->Forward(h).Scalar();
     output_ = 1.0f / (1.0f + std::exp(-pre));
     return output_;
+  }
+
+  void ForwardBatch(const std::vector<query::Query>& queries,
+                    std::vector<float>* out) override {
+    telemetry::StageTimer::Mark("encode");
+    std::vector<nn::Matrix> seqs;
+    seqs.reserve(queries.size());
+    for (const query::Query& q : queries) {
+      seqs.push_back(nn::Matrix::Stack(encoder().SequenceEncode(q)));
+    }
+    telemetry::StageTimer::Mark("forward");
+    // One length-packed time-major pass over all sequences, then one
+    // multi-row head pass; the sigmoid tail matches ForwardOne per row.
+    nn::Matrix hs = cell_->ForwardSequenceBatch(seqs);
+    nn::Matrix pre = head_->Forward(hs);
+    out->resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      (*out)[i] =
+          1.0f / (1.0f + std::exp(-pre.At(static_cast<int>(i), 0)));
+    }
   }
 
   void BackwardOne(float dpred) override {

@@ -1,5 +1,7 @@
 #include "src/ce/query_driven/set_models.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 #include "src/util/telemetry/stage_timer.h"
 
@@ -17,6 +19,27 @@ std::vector<std::vector<float>> TruncateTokens(
     out.emplace_back(t.begin(), t.begin() + dim);
   }
   return out;
+}
+
+// Mean-pools each `counts[i]`-row segment of `m` into row i of `out`
+// starting at `col_offset`, replicating nn::ColMean exactly: ascending-row
+// accumulation into a zeroed float buffer, then one multiply by 1/rows —
+// so each pooled row is bit-identical to ColMean over that query's tokens.
+void SegmentMeanInto(const nn::Matrix& m, const std::vector<int>& counts,
+                     int col_offset, nn::Matrix* out) {
+  int off = 0;
+  std::vector<float> acc(static_cast<size_t>(m.cols()));
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (int r = 0; r < counts[i]; ++r) {
+      const float* row = m.RowPtr(off + r);
+      for (int c = 0; c < m.cols(); ++c) acc[c] += row[c];
+    }
+    const float inv = 1.0f / static_cast<float>(counts[i]);
+    float* orow = out->RowPtr(static_cast<int>(i));
+    for (int c = 0; c < m.cols(); ++c) orow[col_offset + c] = acc[c] * inv;
+    off += counts[i];
+  }
 }
 
 }  // namespace
@@ -61,6 +84,48 @@ float SetBasedEstimator::ForwardOne(const query::Query& q) {
   nn::Matrix pp = PoolSet(pred_mlp_.get(), sets.predicates, &pred_rows_);
   nn::Matrix concat = nn::ConcatCols({&pt, &pj, &pp});
   return head_->Forward(concat).Scalar();
+}
+
+void SetBasedEstimator::ForwardBatch(const std::vector<query::Query>& queries,
+                                     std::vector<float>* out) {
+  telemetry::StageTimer::Mark("encode");
+  const int n = static_cast<int>(queries.size());
+  const int plain_table_dim =
+      static_cast<int>(encoder().schema().tables.size());
+  // All queries' tokens concatenated per set type; counts delimit each
+  // query's segment. MscnEncode pads empty sets with one all-zero token, so
+  // every segment has >= 1 row.
+  std::vector<std::vector<float>> tables, joins, preds;
+  std::vector<int> tcnt(n), jcnt(n), pcnt(n);
+  for (int i = 0; i < n; ++i) {
+    query::MscnSets sets = encoder().MscnEncode(queries[i]);
+    tcnt[i] = static_cast<int>(sets.tables.size());
+    jcnt[i] = static_cast<int>(sets.joins.size());
+    pcnt[i] = static_cast<int>(sets.predicates.size());
+    if (use_sample_bitmap_) {
+      for (auto& t : sets.tables) tables.push_back(std::move(t));
+    } else {
+      for (const auto& t : sets.tables) {
+        tables.emplace_back(t.begin(), t.begin() + plain_table_dim);
+      }
+    }
+    for (auto& t : sets.joins) joins.push_back(std::move(t));
+    for (auto& t : sets.predicates) preds.push_back(std::move(t));
+  }
+  telemetry::StageTimer::Mark("forward");
+  // One multi-row pass per sub-MLP over every query's tokens at once, then
+  // per-query segment pooling, then one multi-row head pass.
+  nn::Matrix tm = table_mlp_->Forward(nn::Matrix::Stack(tables));
+  nn::Matrix jm = join_mlp_->Forward(nn::Matrix::Stack(joins));
+  nn::Matrix pm = pred_mlp_->Forward(nn::Matrix::Stack(preds));
+  const int h = options_.hidden_dim;
+  nn::Matrix pooled(n, 3 * h);
+  SegmentMeanInto(tm, tcnt, 0, &pooled);
+  SegmentMeanInto(jm, jcnt, h, &pooled);
+  SegmentMeanInto(pm, pcnt, 2 * h, &pooled);
+  nn::Matrix y = head_->Forward(pooled);
+  out->resize(queries.size());
+  for (int i = 0; i < n; ++i) (*out)[i] = y.At(i, 0);
 }
 
 void SetBasedEstimator::BackwardOne(float dpred) {

@@ -28,6 +28,8 @@ class SetBasedEstimator : public NeuralQueryDrivenEstimator {
  protected:
   void InitModel(Rng* rng) override;
   float ForwardOne(const query::Query& q) override;
+  void ForwardBatch(const std::vector<query::Query>& queries,
+                    std::vector<float>* out) override;
   void BackwardOne(float dpred) override;
   std::vector<nn::Param*> Params() override;
   size_t NumParams() const override;

@@ -65,7 +65,13 @@ int64_t RowGrain(int64_t total_rows, int64_t flops_per_row) {
   if (lanes <= 1 || total_rows <= 1) return std::max<int64_t>(1, total_rows);
   int64_t by_lanes = (total_rows + 4 * lanes - 1) / (4 * lanes);
   int64_t by_work = kFlopsPerChunk / std::max<int64_t>(1, flops_per_row);
-  return std::max<int64_t>(1, std::max(by_lanes, by_work));
+  int64_t grain = std::max<int64_t>(1, std::max(by_lanes, by_work));
+  // Round up to the 4-row SIMD panel height. Without this, a small multi-row
+  // matmul (a serving micro-batch, an MSCN token block) shatters into 1-row
+  // chunks that all take the GEMV tail and re-stream B once per row; whole
+  // panels share each streamed B row 4 ways. Chunk boundaries never change
+  // the results, so the rounding is determinism-safe.
+  return (grain + 3) & ~int64_t{3};
 }
 
 Status ShapeError(const char* op, const Matrix& a, const Matrix& b) {
@@ -156,14 +162,41 @@ void MatMulTransBRowsNaive(const Matrix& a, const Matrix& b, Matrix* c,
 
 // ---------------------------------------------------------------------------
 // Vectorized kernels.
+//
+// LCE_KERNEL_CLONES compiles each kernel once per ISA level (baseline,
+// AVX2, AVX-512) and picks the widest the CPU supports at load time via the
+// resolver the compiler emits. The clones come from identical source with
+// fp-contract pinned off (CMakeLists), so every lane executes the same
+// mul-then-add sequence as the scalar reference — wider vectors change how
+// many elements move per instruction, never a result bit. This matters most
+// for the serving micro-batches: the 4-row panel is compute-bound at
+// baseline vector width, so batching could never amortize the streamed B
+// traffic without the wide clones.
 // ---------------------------------------------------------------------------
 
+#if defined(__x86_64__) && defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define LCE_KERNEL_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#endif
+#endif
+#ifndef LCE_KERNEL_CLONES
+#define LCE_KERNEL_CLONES
+#endif
+
 // C = A * B over a row block of A: 4-row panels share each streamed B row
-// (one load, four FMAs per lane), the k loop is tiled by kKc so a B tile
-// stays in L2, and the j loop vectorizes over the aligned padded rows. Each
-// C element keeps a single accumulator fed in ascending-k order, so the
-// result is bit-identical to MatMulRowsNaive. The epilogue (bias +
-// activation) runs once per finished row, while it is still cache-hot.
+// (one load, four multiply-adds per lane), the k loop is tiled by kKc so a B
+// tile stays in L2 and unrolled by 4 inside the tile so each C vector makes
+// one load/store round trip per four k-terms (the un-unrolled form is
+// store-port-bound: one C store per k per row caps the panel at roughly a
+// third of its ALU throughput). The unroll chains the four adds on the same
+// accumulator in ascending k, so element values are unchanged — identical op
+// sequence, fewer memory round trips. The j loop vectorizes over the aligned
+// padded rows. Each C element keeps a single accumulator fed in ascending-k
+// order, so the result is bit-identical to MatMulRowsNaive. The epilogue
+// (bias + activation) runs once per finished row, while it is still
+// cache-hot.
+LCE_KERNEL_CLONES
 void MatMulRowsSimd(const Matrix& a, const Matrix& b, const Matrix* bias,
                     Activation act, Matrix* c, int64_t r0, int64_t r1) {
   const int K = a.cols();
@@ -184,7 +217,30 @@ void MatMulRowsSimd(const Matrix& a, const Matrix& b, const Matrix* bias,
     float* LCE_RESTRICT c3 = c->RowPtr(static_cast<int>(i) + 3);
     for (int kb = 0; kb < K; kb += kKc) {
       const int ke = std::min(K, kb + kKc);
-      for (int k = kb; k < ke; ++k) {
+      int k = kb;
+      for (; k + 4 <= ke; k += 4) {
+        const float* LCE_RESTRICT b0 = bp + static_cast<size_t>(k) * ldb;
+        const float* LCE_RESTRICT b1 = b0 + ldb;
+        const float* LCE_RESTRICT b2 = b1 + ldb;
+        const float* LCE_RESTRICT b3 = b2 + ldb;
+        const float a00 = a0[k], a01 = a0[k + 1], a02 = a0[k + 2],
+                    a03 = a0[k + 3];
+        const float a10 = a1[k], a11 = a1[k + 1], a12 = a1[k + 2],
+                    a13 = a1[k + 3];
+        const float a20 = a2[k], a21 = a2[k + 1], a22 = a2[k + 2],
+                    a23 = a2[k + 3];
+        const float a30 = a3[k], a31 = a3[k + 1], a32 = a3[k + 2],
+                    a33 = a3[k + 3];
+#pragma omp simd
+        for (int j = 0; j < N; ++j) {
+          const float b0j = b0[j], b1j = b1[j], b2j = b2[j], b3j = b3[j];
+          c0[j] = (((c0[j] + a00 * b0j) + a01 * b1j) + a02 * b2j) + a03 * b3j;
+          c1[j] = (((c1[j] + a10 * b0j) + a11 * b1j) + a12 * b2j) + a13 * b3j;
+          c2[j] = (((c2[j] + a20 * b0j) + a21 * b1j) + a22 * b2j) + a23 * b3j;
+          c3[j] = (((c3[j] + a30 * b0j) + a31 * b1j) + a32 * b2j) + a33 * b3j;
+        }
+      }
+      for (; k < ke; ++k) {
         const float* LCE_RESTRICT brow = bp + static_cast<size_t>(k) * ldb;
         const float av0 = a0[k];
         const float av1 = a1[k];
@@ -225,6 +281,7 @@ void MatMulRowsSimd(const Matrix& a, const Matrix& b, const Matrix* bias,
 // row stays in L1 across the whole i-range), 4 output rows per step sharing
 // it, vectorized over j. Ascending-k single accumulators — bit-identical to
 // MatMulTransARowsNaive.
+LCE_KERNEL_CLONES
 void MatMulTransARowsSimd(const Matrix& a, const Matrix& b, Matrix* c,
                           int64_t i0, int64_t i1) {
   const int M = a.rows();
@@ -262,6 +319,7 @@ void MatMulTransARowsSimd(const Matrix& a, const Matrix& b, Matrix* c,
 // Small-M A * B^T: independent dot products, 4 B rows unrolled per step so
 // four scalar accumulator chains run in parallel. Each chain sums ascending
 // k — bit-identical to the naive dot loop.
+LCE_KERNEL_CLONES
 void MatMulTransBRowsDot(const Matrix& a, const Matrix& b, Matrix* c,
                          int64_t r0, int64_t r1) {
   const int K = a.cols();

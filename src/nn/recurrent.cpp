@@ -1,11 +1,39 @@
 #include "src/nn/recurrent.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "src/nn/activation.h"
 
 namespace lce {
 namespace nn {
+
+namespace {
+
+// Batched sequence bookkeeping shared by both cells: indices sorted by
+// descending length (stable, so equal-length sequences keep input order —
+// ordering only affects row placement, never row values).
+std::vector<int> SortByLengthDesc(const std::vector<Matrix>& seqs) {
+  std::vector<int> order(seqs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&seqs](int a, int b) {
+    return seqs[a].rows() > seqs[b].rows();
+  });
+  return order;
+}
+
+// Copies the leading `rows` rows of `m` into a fresh rows x cols matrix.
+Matrix ShrinkRows(const Matrix& m, int rows) {
+  Matrix out(rows, m.cols());
+  for (int r = 0; r < rows; ++r) {
+    const float* src = m.RowPtr(r);
+    std::copy(src, src + m.cols(), out.RowPtr(r));
+  }
+  return out;
+}
+
+}  // namespace
 
 RnnCell::RnnCell(int in_dim, int hidden_dim, Rng* rng)
     : wx_(Matrix::Randn(in_dim, hidden_dim,
@@ -28,6 +56,51 @@ Matrix RnnCell::ForwardSequence(const Matrix& seq) {
     hs_.push_back(h);
   }
   return h;
+}
+
+Matrix RnnCell::ForwardSequenceBatch(const std::vector<Matrix>& seqs) const {
+  const int n = static_cast<int>(seqs.size());
+  LCE_CHECK(n > 0);
+  const int in = wx_.value.rows();
+  const int h = wh_.value.rows();
+  for (const Matrix& s : seqs) {
+    LCE_CHECK(s.rows() >= 1);
+    LCE_CHECK(s.cols() == in);
+  }
+  std::vector<int> order = SortByLengthDesc(seqs);
+  Matrix out(n, h);
+  Matrix hcur = Matrix::Zeros(n, h);  // rows follow `order`
+  int active = n;
+  const int max_len = seqs[order[0]].rows();
+  for (int t = 0; t < max_len; ++t) {
+    // Sequences shorter than t+1 steps finished last step; sorted descending
+    // they occupy the tail rows, whose hidden states are already final.
+    int still = active;
+    while (still > 0 && seqs[order[still - 1]].rows() <= t) --still;
+    if (still < active) {
+      for (int r = still; r < active; ++r) {
+        const float* src = hcur.RowPtr(r);
+        std::copy(src, src + h, out.RowPtr(order[r]));
+      }
+      hcur = ShrinkRows(hcur, still);
+      active = still;
+    }
+    Matrix xt(active, in);
+    for (int r = 0; r < active; ++r) {
+      const float* src = seqs[order[r]].RowPtr(t);
+      std::copy(src, src + in, xt.RowPtr(r));
+    }
+    // Same step arithmetic as ForwardSequence, over `active` rows at once.
+    Matrix pre = MatMul(xt, wx_.value);
+    pre.Add(MatMul(hcur, wh_.value));
+    AddBiasRowActivate(&pre, b_.value, Activation::kTanh);
+    hcur = std::move(pre);
+  }
+  for (int r = 0; r < active; ++r) {
+    const float* src = hcur.RowPtr(r);
+    std::copy(src, src + h, out.RowPtr(order[r]));
+  }
+  return out;
 }
 
 void RnnCell::BackwardSequence(const Matrix& dh_final) {
@@ -102,6 +175,69 @@ Matrix LstmCell::ForwardSequence(const Matrix& seq) {
     cache_.push_back(std::move(step));
   }
   return h;
+}
+
+Matrix LstmCell::ForwardSequenceBatch(const std::vector<Matrix>& seqs) const {
+  const int n = static_cast<int>(seqs.size());
+  LCE_CHECK(n > 0);
+  for (const Matrix& s : seqs) {
+    LCE_CHECK(s.rows() >= 1);
+    LCE_CHECK(s.cols() == in_dim_);
+  }
+  std::vector<int> order = SortByLengthDesc(seqs);
+  Matrix out(n, hidden_dim_);
+  Matrix hcur = Matrix::Zeros(n, hidden_dim_);
+  Matrix ccur = Matrix::Zeros(n, hidden_dim_);
+  int active = n;
+  const int max_len = seqs[order[0]].rows();
+  for (int t = 0; t < max_len; ++t) {
+    int still = active;
+    while (still > 0 && seqs[order[still - 1]].rows() <= t) --still;
+    if (still < active) {
+      for (int r = still; r < active; ++r) {
+        const float* src = hcur.RowPtr(r);
+        std::copy(src, src + hidden_dim_, out.RowPtr(order[r]));
+      }
+      hcur = ShrinkRows(hcur, still);
+      ccur = ShrinkRows(ccur, still);
+      active = still;
+    }
+    // z = [x_t, h_{t-1}] per active row, one fused gate projection.
+    Matrix z(active, in_dim_ + hidden_dim_);
+    for (int r = 0; r < active; ++r) {
+      float* zrow = z.RowPtr(r);
+      const float* src = seqs[order[r]].RowPtr(t);
+      std::copy(src, src + in_dim_, zrow);
+      const float* hrow = hcur.RowPtr(r);
+      std::copy(hrow, hrow + hidden_dim_, zrow + in_dim_);
+    }
+    Matrix pre = MatMulBiasAct(z, w_.value, b_.value, Activation::kIdentity);
+    Matrix h_next(active, hidden_dim_);
+    Matrix c_next(active, hidden_dim_);
+    for (int r = 0; r < active; ++r) {
+      const float* g = pre.RowPtr(r);
+      const float* cp = ccur.RowPtr(r);
+      float* hn = h_next.RowPtr(r);
+      float* cn = c_next.RowPtr(r);
+      // Gate arithmetic matches ForwardSequence term for term.
+      for (int j = 0; j < hidden_dim_; ++j) {
+        float i = 1.0f / (1.0f + std::exp(-g[j]));
+        float f = 1.0f / (1.0f + std::exp(-g[hidden_dim_ + j]));
+        float gg = std::tanh(g[2 * hidden_dim_ + j]);
+        float o = 1.0f / (1.0f + std::exp(-g[3 * hidden_dim_ + j]));
+        float cv = f * cp[j] + i * gg;
+        cn[j] = cv;
+        hn[j] = o * std::tanh(cv);
+      }
+    }
+    hcur = std::move(h_next);
+    ccur = std::move(c_next);
+  }
+  for (int r = 0; r < active; ++r) {
+    const float* src = hcur.RowPtr(r);
+    std::copy(src, src + hidden_dim_, out.RowPtr(order[r]));
+  }
+  return out;
 }
 
 void LstmCell::BackwardSequence(const Matrix& dh_final) {

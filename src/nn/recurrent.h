@@ -23,6 +23,16 @@ class RnnCell {
   /// `seq` is T x in_dim (T >= 1). Returns 1 x hidden_dim.
   Matrix ForwardSequence(const Matrix& seq);
 
+  /// Inference-only batched forward: encodes every sequence and returns an
+  /// N x hidden_dim matrix whose row i is the final hidden state of
+  /// `seqs[i]`. Sequences are packed by descending length and advanced
+  /// time-major, so each step is one batched matmul over the still-active
+  /// rows instead of N GEMVs. Rows never interact inside the kernels (the
+  /// ascending-k accumulation contract of matrix.h), so every row is
+  /// bit-identical to ForwardSequence on that sequence alone. Leaves the
+  /// BPTT caches untouched — do not follow with BackwardSequence.
+  Matrix ForwardSequenceBatch(const std::vector<Matrix>& seqs) const;
+
   /// BPTT from dL/dh_T of the most recent ForwardSequence; accumulates
   /// parameter gradients.
   void BackwardSequence(const Matrix& dh_final);
@@ -46,6 +56,11 @@ class LstmCell {
   LstmCell(int in_dim, int hidden_dim, Rng* rng);
 
   Matrix ForwardSequence(const Matrix& seq);
+
+  /// Batched inference; same contract as RnnCell::ForwardSequenceBatch
+  /// (bit-identical per row, BPTT caches untouched).
+  Matrix ForwardSequenceBatch(const std::vector<Matrix>& seqs) const;
+
   void BackwardSequence(const Matrix& dh_final);
 
   std::vector<Param*> Params() { return {&w_, &b_}; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <map>
 
 namespace lce {
@@ -9,8 +10,19 @@ namespace query {
 
 namespace {
 
+// The service front end feeds this parser untrusted strings, so every
+// resource it consumes is capped: total input bytes, FROM-list entries, and
+// WHERE terms. The caps are far above anything ToSql emits for a real
+// schema; hitting one is always hostile or corrupt input.
+constexpr size_t kMaxSqlBytes = 64 * 1024;
+constexpr size_t kMaxFromTables = 1024;
+constexpr size_t kMaxWhereTerms = 4096;
+
 struct Token {
-  enum class Kind { kIdent, kNumber, kSymbol, kEnd } kind = Kind::kEnd;
+  // kBadNumber: a numeric literal that does not fit in int64 — surfaced as
+  // a parse error instead of the std::stoll throw that used to crash here.
+  enum class Kind { kIdent, kNumber, kSymbol, kBadNumber, kEnd } kind =
+      Kind::kEnd;
   std::string text;   // identifiers uppercased for keyword checks? no: raw
   int64_t number = 0;
 };
@@ -45,7 +57,10 @@ class Lexer {
         ++pos_;
       }
       Token t{Token::Kind::kNumber, input_.substr(start, pos_ - start), 0};
-      t.number = std::stoll(t.text);
+      const char* first = t.text.data();
+      const char* last = first + t.text.size();
+      auto [ptr, ec] = std::from_chars(first, last, t.number);
+      if (ec != std::errc() || ptr != last) t.kind = Token::Kind::kBadNumber;
       return t;
     }
     // Multi-char comparison operators.
@@ -81,9 +96,24 @@ struct ColumnSite {
 }  // namespace
 
 Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
+  if (sql.size() > kMaxSqlBytes) {
+    return Status::InvalidArgument("statement exceeds " +
+                                   std::to_string(kMaxSqlBytes) + " bytes");
+  }
   const storage::DatabaseSchema& schema = db.schema();
   Lexer lexer(sql);
   Token tok = lexer.Next();
+
+  // Out-of-range integer literals are lexed as kBadNumber and rejected
+  // wherever a number is expected.
+  auto number_error = [&](const std::string& context) -> Status {
+    if (tok.kind == Token::Kind::kBadNumber) {
+      return Status::InvalidArgument("integer literal out of range near '" +
+                                     tok.text + "'");
+    }
+    return Status::InvalidArgument("expected number " + context + " near '" +
+                                   tok.text + "'");
+  };
 
   auto expect_keyword = [&](const char* kw) -> Status {
     if (!IsKeyword(tok, kw)) {
@@ -119,6 +149,11 @@ Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
     }
     int t = schema.TableIndex(tok.text);
     if (t < 0) return Status::InvalidArgument("unknown table " + tok.text);
+    if (q.tables.size() >= kMaxFromTables) {
+      return Status::InvalidArgument("FROM list exceeds " +
+                                     std::to_string(kMaxFromTables) +
+                                     " tables");
+    }
     q.tables.push_back(t);
     tok = lexer.Next();
     if (tok.kind == Token::Kind::kSymbol && tok.text == ",") {
@@ -177,7 +212,13 @@ Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
 
   if (IsKeyword(tok, "WHERE")) {
     tok = lexer.Next();
+    size_t where_terms = 0;
     for (;;) {
+      if (++where_terms > kMaxWhereTerms) {
+        return Status::InvalidArgument("WHERE clause exceeds " +
+                                       std::to_string(kMaxWhereTerms) +
+                                       " terms");
+      }
       Result<ColumnSite> left = parse_column();
       if (!left.ok()) return left.status();
 
@@ -186,6 +227,8 @@ Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
         if (tok.kind == Token::Kind::kNumber) {
           constrain(left.value(), tok.number, tok.number);
           tok = lexer.Next();
+        } else if (tok.kind == Token::Kind::kBadNumber) {
+          return number_error("after '='");
         } else {
           // Join condition: col = col. Must match a declared edge.
           Result<ColumnSite> right = parse_column();
@@ -219,13 +262,13 @@ Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
       } else if (IsKeyword(tok, "BETWEEN")) {
         tok = lexer.Next();
         if (tok.kind != Token::Kind::kNumber) {
-          return Status::InvalidArgument("expected number after BETWEEN");
+          return number_error("after BETWEEN");
         }
         storage::Value lo = tok.number;
         tok = lexer.Next();
         if (Status s = expect_keyword("AND"); !s.ok()) return s;
         if (tok.kind != Token::Kind::kNumber) {
-          return Status::InvalidArgument("expected number after AND");
+          return number_error("after AND");
         }
         constrain(left.value(), lo, tok.number);
         tok = lexer.Next();
@@ -235,15 +278,20 @@ Result<Query> ParseSql(const std::string& sql, const storage::Database& db) {
         std::string op = tok.text;
         tok = lexer.Next();
         if (tok.kind != Token::Kind::kNumber) {
-          return Status::InvalidArgument("expected number after '" + op + "'");
+          return number_error("after '" + op + "'");
         }
         storage::Value v = tok.number;
+        // Strict bounds at the int64 edge saturate instead of overflowing;
+        // the range then collapses against the column stats and reports as
+        // contradictory, which is the right answer for "< INT64_MIN".
         if (op == "<") {
-          constrain(left.value(), storage::kValueMin, v - 1);
+          constrain(left.value(), storage::kValueMin,
+                    v == storage::kValueMin ? v : v - 1);
         } else if (op == "<=") {
           constrain(left.value(), storage::kValueMin, v);
         } else if (op == ">") {
-          constrain(left.value(), v + 1, storage::kValueMax);
+          constrain(left.value(), v == storage::kValueMax ? v : v + 1,
+                    storage::kValueMax);
         } else {
           constrain(left.value(), v, storage::kValueMax);
         }

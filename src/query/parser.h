@@ -22,6 +22,11 @@ namespace query {
 
 /// Parses one SQL statement into a validated Query. Errors carry a short
 /// explanation ("unknown table x", "no join edge between a.k and b.fk", ...).
+///
+/// Safe on untrusted input (the serving front end feeds it raw request
+/// strings): truncated statements, unknown identifiers, out-of-range integer
+/// literals, byte soup, and over-long inputs (statement size, FROM list, and
+/// WHERE term caps) all return InvalidArgument — never a throw or a crash.
 Result<Query> ParseSql(const std::string& sql, const storage::Database& db);
 
 }  // namespace query

@@ -156,6 +156,9 @@ std::string RunManifestJson(const std::string& bench_name,
   WriteEnvEntry(&w, "LCE_FR_RING");
   WriteEnvEntry(&w, "LCE_FR_MAX_BUNDLES");
   WriteEnvEntry(&w, "LCE_METRICS_SNAPSHOT");
+  WriteEnvEntry(&w, "LCE_SERVE_BATCH");
+  WriteEnvEntry(&w, "LCE_SERVE_BATCH_US");
+  WriteEnvEntry(&w, "LCE_SERVE_MAX_BATCH");
   w.EndObject();
   // Mirrors exec::OracleIndexEnabled()'s env parse (telemetry cannot depend
   // on exec); test-only overrides are not reflected here.

@@ -12,8 +12,10 @@
 // memory accounting, and drift alerts with per-model training summaries into
 // the accuracy-vs-train-cost-vs-footprint view DESIGN.md §9 describes, adds
 // the per-query stage decomposition (encode/featurize -> forward/traverse ->
-// postprocess) recorded by the estimators' stage timers, and renders the
-// top hot paths of any profiles.
+// postprocess) recorded by the estimators' stage timers, the serving
+// throughput arms published by bench_serve_throughput (batch on/off QPS,
+// latency percentiles, speedup), and renders the top hot paths of any
+// profiles.
 //
 // Prints markdown to stdout (and to --out PATH when given). Exit codes:
 // 0 report rendered, 2 usage / IO / parse error (a missing or malformed
@@ -27,6 +29,8 @@
 #include <filesystem>
 #include <map>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "src/util/fs.h"
@@ -576,6 +580,92 @@ bool RenderProfiles(const std::vector<std::string>& paths, std::string* out,
   return true;
 }
 
+// Serving throughput: bench_serve_throughput publishes per-(model, client
+// count, arm) gauges named serve.<model>.c<N>.<off|on>.<metric> plus a
+// serve.<model>.c<N>.batch_speedup_x summary. One row per arm, speedup on
+// the batched row, so the batch-on vs batch-off comparison reads top-down.
+void RenderServing(const std::vector<Manifest>& manifests, std::string* out) {
+  *out += "## Serving throughput\n\n";
+  struct Arm {
+    double qps = -1, p50 = -1, p95 = -1, p99 = -1;
+    double mean_batch = -1, wait = -1, speedup = -1;
+  };
+  bool any = false;
+  std::string table =
+      "| bench | model | clients | batching | qps | p50 µs | p95 µs |"
+      " p99 µs | mean batch | wait µs | speedup |\n"
+      "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const Manifest& m : manifests) {
+    const JsonValue* metrics = Find(m.root, "metrics");
+    const JsonValue* gauges =
+        metrics != nullptr ? Find(*metrics, "gauges") : nullptr;
+    if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+      continue;
+    }
+    // key = (model, clients, arm) in gauge-name order, which already sorts
+    // by model then client count then off/on.
+    std::map<std::tuple<std::string, int, std::string>, Arm> arms;
+    std::map<std::pair<std::string, int>, double> speedups;
+    for (const auto& [name, v] : gauges->object) {
+      if (name.rfind("serve.", 0) != 0 ||
+          v.kind != JsonValue::Kind::kNumber) {
+        continue;
+      }
+      // serve.<model>.c<N>.<rest>
+      size_t model_end = name.find('.', 6);
+      if (model_end == std::string::npos || name[model_end + 1] != 'c') {
+        continue;
+      }
+      size_t clients_end = name.find('.', model_end + 1);
+      if (clients_end == std::string::npos) continue;
+      const std::string model = name.substr(6, model_end - 6);
+      const int clients =
+          std::atoi(name.c_str() + model_end + 2);
+      const std::string rest = name.substr(clients_end + 1);
+      if (rest == "batch_speedup_x") {
+        speedups[{model, clients}] = v.number;
+        continue;
+      }
+      size_t arm_end = rest.find('.');
+      if (arm_end == std::string::npos) continue;
+      const std::string arm = rest.substr(0, arm_end);
+      if (arm != "off" && arm != "on") continue;
+      Arm& a = arms[{model, clients, arm}];
+      const std::string metric = rest.substr(arm_end + 1);
+      if (metric == "throughput_rps") a.qps = v.number;
+      else if (metric == "lat_p50_micros") a.p50 = v.number;
+      else if (metric == "lat_p95_micros") a.p95 = v.number;
+      else if (metric == "lat_p99_micros") a.p99 = v.number;
+      else if (metric == "mean_batch") a.mean_batch = v.number;
+      else if (metric == "queue_wait_mean_micros") a.wait = v.number;
+    }
+    const std::string bench = GetString(m.root, "bench");
+    auto cell = [](double v) { return v >= 0 ? Num(v) : std::string("-"); };
+    for (const auto& [key, a] : arms) {
+      any = true;
+      const auto& [model, clients, arm] = key;
+      std::string speedup = "-";
+      if (arm == "on") {
+        auto it = speedups.find({model, clients});
+        if (it != speedups.end()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "**%.2fx**", it->second);
+          speedup = buf;
+        }
+      }
+      Append(&table, "| %s | %s | %d | %s | %s | %s | %s | %s | %s | %s |"
+                     " %s |\n",
+             bench.c_str(), model.c_str(), clients, arm.c_str(),
+             cell(a.qps).c_str(), cell(a.p50).c_str(), cell(a.p95).c_str(),
+             cell(a.p99).c_str(), cell(a.mean_batch).c_str(),
+             cell(a.wait).c_str(), speedup.c_str());
+    }
+  }
+  *out += any ? table
+              : "No serving gauges recorded (run bench_serve_throughput).\n";
+  *out += "\n";
+}
+
 void RenderTraining(const std::map<std::string, TrainSummary>& by_model,
                     std::string* out) {
   *out += "## Training log\n\n";
@@ -675,6 +765,7 @@ int main(int argc, char** argv) {
   md += ".\n\n";
   RenderRuns(manifests, &md);
   RenderModelCards(manifests, &md);
+  RenderServing(manifests, &md);
   RenderStages(manifests, &md);
   RenderHistograms(manifests, &md);
   if (!RenderProfiles(profiles, &md)) return 2;
